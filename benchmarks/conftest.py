@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure through
+``repro.experiments.<module>.run`` and prints the same rows/series the
+paper reports.  Experiments are deterministic and heavy (tens of
+seconds), so every benchmark uses a single pedantic round.
+
+The trained-WANify fixture is shared process-wide via the experiments'
+own memoization, so the first benchmark pays the training cost once.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run an experiment once under the benchmark timer and print its
+    rendered table."""
+
+    def _regenerate(module):
+        results = benchmark.pedantic(
+            module.run, kwargs={"fast": True}, rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(module.render(results))
+        return results
+
+    return _regenerate

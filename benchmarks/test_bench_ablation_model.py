@@ -1,0 +1,17 @@
+"""Bench: substrate-ablation evidence for DESIGN.md's modeling choices."""
+
+from repro.experiments import ablation_model
+
+
+def test_substrate_ablation(regenerate):
+    results = regenerate(ablation_model)
+    # The full model keeps uniform parallelism from lifting the weak
+    # link much (the Fig. 2(b) behaviour)...
+    assert results["uniform_to_single_ratio"] < 3.5
+    # ...while pure 1/RTT weights would (wrongly) let uniform-8
+    # multiply the weak link several-fold — the cap-proportional
+    # weighting is the load-bearing choice.
+    assert (
+        results["rtt_only_ratio"]
+        > results["uniform_to_single_ratio"] * 1.5
+    )

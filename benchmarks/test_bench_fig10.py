@@ -1,0 +1,20 @@
+"""Bench E-F10: regenerate Fig. 10 (skewed input handling)."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_skewed_inputs(regenerate):
+    results = regenerate(fig10)
+    for system in ("tetrium", "kimchi"):
+        row = results[system]
+        # WANify-with-skew beats the single-connection and uniform
+        # baselines clearly (paper: 26.5% and 20.3%).
+        assert row["w_vs_single_pct"] > 5.0
+        assert row["w_vs_p_pct"] > 5.0
+        # Against skew-unaware WANify the paper reports +7.1%; in the
+        # fluid substrate this margin is small — require it not to be
+        # a regression beyond noise.
+        assert row["w_vs_wns_pct"] > -5.0
+        # The cluster minimum BW rises with skew-aware allocation
+        # (paper: 1.2-2.1x vs the single-connection baseline).
+        assert row["min_bw_ratio_vs_single"] > 1.1

@@ -1,0 +1,23 @@
+"""Bench E-F11a/E-F11b: regenerate Fig. 11 (prediction accuracy under
+heterogeneity)."""
+
+from repro.experiments import fig11
+
+
+def test_fig11_heterogeneity_accuracy(regenerate):
+    results = regenerate(fig11)
+    # Predicted BWs beat static-independent everywhere (the paper's
+    # core accuracy claim for both panels).
+    assert results["predicted_beats_static_sizes"]
+    assert results["predicted_beats_static_vms"]
+    # And not marginally: summed over cluster sizes, predicted has
+    # far fewer significant differences.
+    static_total = sum(
+        v["static_significant"]
+        for v in results["by_cluster_size"].values()
+    )
+    predicted_total = sum(
+        v["predicted_significant"]
+        for v in results["by_cluster_size"].values()
+    )
+    assert predicted_total <= static_total / 2

@@ -1,0 +1,16 @@
+"""Bench E-F2: regenerate Fig. 2 (3-DC connection schemes)."""
+
+from repro.experiments import fig2
+
+
+def test_fig2_connection_schemes(regenerate):
+    results = regenerate(fig2)
+    # Single-connection min BW calibrated to the paper's 121 Mbps.
+    assert abs(results["min_single"] - 121.0) < 25.0
+    # Heterogeneous raises the minimum well above uniform (paper 2.1×)
+    # while trading away some maximum BW.
+    assert results["min_ratio"] > 1.5
+    assert results["max_hetero"] <= results["max_uniform"] * 1.05
+    # The Fig. 2(d) bottleneck shrinks monotonically across schemes.
+    t = results["bottleneck_s"]
+    assert t["heterogeneous"] < t["uniform"] < t["single"]

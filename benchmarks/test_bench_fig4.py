@@ -1,0 +1,17 @@
+"""Bench E-F4: regenerate Fig. 4 (ML quantization variants)."""
+
+from repro.experiments import fig4
+
+
+def test_fig4_ml_quantization(regenerate):
+    results = regenerate(fig4)
+    v = results["variants"]
+    # Ordering: quantization helps, BW-accurate quantization helps more,
+    # WANify transfers at least match PredQ.
+    assert v["SAGQ"]["minutes"] < v["NoQ"]["minutes"]
+    assert v["PredQ"]["minutes"] <= v["SAGQ"]["minutes"]
+    assert v["WQ"]["minutes"] <= v["PredQ"]["minutes"] + 0.2
+    # SAGQ's headline gain over NoQ (paper ~22%).
+    assert 10.0 < results["sagq_vs_noq_time_pct"] < 35.0
+    # WQ boosts the minimum BW (paper 2×).
+    assert results["wq_min_bw_ratio"] > 1.5

@@ -1,0 +1,15 @@
+"""Bench E-F6: regenerate Fig. 6 (intermediate-size sweep)."""
+
+from repro.experiments import fig6
+
+
+def test_fig6_intermediate_size_sweep(regenerate):
+    results = regenerate(fig6)
+    rows = results["rows"]
+    # Tiny shuffles: WANify ≈ vanilla (paper: alike at 2.06/3.63 MB).
+    assert results["small_sizes_equal"]
+    # Beyond the crossover the gain is positive and growing-ish.
+    assert results["crossover_mb"] is not None
+    last = rows[-1]
+    assert last["latency_gain_pct"] > 2.0
+    assert last["wanify_min_bw"] >= last["vanilla_min_bw"] * 0.9

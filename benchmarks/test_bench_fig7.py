@@ -1,0 +1,15 @@
+"""Bench E-F7: regenerate Fig. 7 (GDA systems with/without WANify)."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_wanify_enabled_systems(regenerate):
+    results = regenerate(fig7)
+    # Paper: latency down by up to 24%, cost by up to 8%, min BW 3.3×.
+    assert 15.0 < results["max_latency_gain_pct"] < 35.0
+    assert results["max_cost_gain_pct"] > 4.0
+    assert results["best_min_bw_ratio"] > 2.0
+    # Heavy query benefits on both systems.
+    table = results["table"]
+    assert table[("tetrium", 78)]["latency_gain_pct"] > 10.0
+    assert table[("kimchi", 78)]["latency_gain_pct"] > 3.0

@@ -1,0 +1,19 @@
+"""Bench E-F8a/E-F8b: regenerate Fig. 8 (ablation + prediction error)."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_ablation_and_error(regenerate):
+    results = regenerate(fig8)
+    tetrium = results["ablation"]["tetrium"]
+    # Each component contributes on Tetrium (paper: 16/11/23%).
+    assert tetrium["global_only_gain_pct"] > 5.0
+    assert tetrium["local_only_gain_pct"] > 5.0
+    assert tetrium["full_gain_pct"] > 10.0
+    # Min BW improves under every variant (paper 1.1–1.2×+).
+    assert tetrium["full_min_bw_ratio"] > 1.0
+    # Error injection degrades latency and the minimum BW (paper:
+    # +18% latency, −38% min BW).
+    err = results["error_impact"]
+    assert err["latency_increase_pct"] > 0.0
+    assert err["min_bw_drop_pct"] > 0.0

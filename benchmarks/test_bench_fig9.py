@@ -1,0 +1,15 @@
+"""Bench E-F9a/E-F9b: regenerate Fig. 9 (AIMD dynamics tracking)."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_aimd_tracking(regenerate):
+    results = regenerate(fig9)
+    # The local optimizer produces per-epoch data for both runs.
+    assert results["clean_epochs"] >= 3
+    assert results["noisy_epochs"] >= 3
+    # The noisy controller mis-tracks at least as often as the clean one
+    # (paper: 6 significant verticals appear only with 20% error).
+    assert (
+        results["noisy_significant"] >= results["clean_significant"]
+    )

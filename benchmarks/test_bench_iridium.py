@@ -1,0 +1,28 @@
+"""Bench E-IRD: Iridium [33] under WANify (extension experiment).
+
+Skewed-input TPC-DS with Iridium's data placement aimed by static vs
+predicted BWs, then the full WANify deployment.  The honest shape:
+accurate BWs give a modest JCT/cost edge (the greedy stops mis-aiming);
+the full deployment holds JCT while multiplying the minimum BW.
+"""
+
+from repro.experiments import iridium_baseline
+
+
+def test_iridium_skewed_staircase(regenerate):
+    results = regenerate(iridium_baseline)
+    rows = results["rows"]
+
+    for query, row in rows.items():
+        # Accurate BWs never hurt; the heavy query gains measurably.
+        assert row["pred_perf"] > -2.0, (query, row)
+        # The full deployment stays within noise of the predicted run.
+        assert row["full_perf"] > row["pred_perf"] - 5.0, (query, row)
+        # Parallel heterogeneous connections multiply the minimum BW.
+        assert row["min_bw_ratio"] > 2.0, (query, row)
+
+    assert rows[78]["pred_perf"] > 2.0
+    # The data placement actually fires in both treatments (it is the
+    # mechanism under test).
+    assert rows[78]["base_migration_mb"] > 0
+    assert rows[78]["pred_migration_mb"] > 0

@@ -1,0 +1,19 @@
+"""Bench: §3.1 model-choice validation (RF vs neural regressor)."""
+
+from repro.experiments import model_choice
+
+
+def test_model_choice(regenerate):
+    results = regenerate(model_choice)
+    # The paper's direction: RF trains more accurately on paper-scale
+    # data and misses no more often on held-out times.  (Our NN gap is
+    # smaller than the paper's CNN gap — a dense net on 6 tabular
+    # features is a stronger baseline than their image-style CNN.)
+    assert (
+        results["rf_train_accuracy"] >= results["nn_train_accuracy"]
+    )
+    assert (
+        results["rf_test_significant_misses"]
+        <= results["nn_test_significant_misses"]
+    )
+    assert results["rf_train_accuracy"] > 95.0

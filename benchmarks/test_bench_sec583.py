@@ -1,0 +1,13 @@
+"""Bench E-S583: regenerate §5.8.3 (heterogeneous compute benefits)."""
+
+from repro.experiments import sec583
+
+
+def test_sec583_heterogeneous_compute(regenerate):
+    results = regenerate(sec583)
+    # Predicted BWs alone help (paper: 5% latency, 1% cost).
+    assert results["r_latency_pct"] > 0.0
+    # Full WANify helps substantially more (paper: 15% / 7.4% / 2×).
+    assert results["full_latency_pct"] > results["r_latency_pct"]
+    assert results["full_latency_pct"] > 8.0
+    assert results["full_min_bw_ratio"] > 1.3

@@ -1,0 +1,11 @@
+"""Bench E-T1: regenerate Table 1 (static vs runtime BW gaps)."""
+
+from repro.experiments import table1
+
+
+def test_table1_static_vs_runtime_gaps(regenerate):
+    results = regenerate(table1)
+    # Shape targets: a double-digit number of significant gaps out of 56
+    # directed links (paper: 18), and a slowest-peer ordering change.
+    assert results["total_significant"] >= 10
+    assert results["ordering_changes"]

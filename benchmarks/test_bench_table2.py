@@ -1,0 +1,13 @@
+"""Bench E-T2: regenerate Table 2 (monitoring vs prediction costs)."""
+
+from repro.experiments import table2
+
+
+def test_table2_monitoring_costs(regenerate):
+    results = regenerate(table2)
+    # Monitoring dollars within 10% of the paper per cluster size, and
+    # the headline savings ratio in the ~90%+ band.
+    for n, paper_usd in results["paper_monitoring_usd"].items():
+        measured = results["monitoring_usd"][n]
+        assert abs(measured - paper_usd) / paper_usd < 0.10
+    assert results["savings_pct"] > 88.0

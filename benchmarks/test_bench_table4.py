@@ -1,0 +1,23 @@
+"""Bench E-T4: regenerate Table 4 (gains from accurate BWs)."""
+
+from repro.experiments import table4
+
+
+def test_table4_accurate_bw_gains(regenerate):
+    results = regenerate(table4)
+    table = results["table"]
+    # Average/heavy queries benefit from runtime-accurate BWs on
+    # Tetrium (paper: 8–14%); the light query moves only a little.
+    for query in (95, 11, 78):
+        assert table[("tetrium", query)]["predicted"]["perf"] > 5.0
+    assert abs(table[("tetrium", 82)]["predicted"]["perf"]) < 5.0
+    # The headline: predicted ≈ static-simultaneous...
+    for key, row in table.items():
+        assert (
+            abs(row["predicted"]["perf"] - row["simultaneous"]["perf"]) < 6.0
+        )
+    # ...at a fraction of the monitoring cost (paper: ~94% savings).
+    assert (
+        results["snapshot_prediction_usd"]
+        < 0.2 * results["simultaneous_monitoring_usd"]
+    )

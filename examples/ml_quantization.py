@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Geo-distributed ML with gradient quantization (the Fig. 4 scenario).
+
+Trains an MNIST-scale model for 10 epochs on the 8-DC cluster under
+five variants — NoQ, SAGQ (static BWs), SimQ (simultaneous BWs), PredQ
+(WANify-predicted BWs), and WQ (predicted BWs + WANify-TC transfers) —
+and prints training time, cost, and the cluster's minimum BW.
+
+Run:  python examples/ml_quantization.py
+"""
+
+from repro.cloud.regions import PAPER_REGIONS
+from repro.core.interface import WANify, WANifyConfig
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.systems.sagq import MLModelSpec, SagqTrainer
+from repro.net.dynamics import FluctuationModel
+from repro.net.measurement import measure_independent, stable_runtime
+from repro.net.topology import Topology
+
+QUERY_TIME = 2 * 24 * 3600.0
+
+
+def make_trainer(weather) -> SagqTrainer:
+    cluster = GeoCluster.build(
+        PAPER_REGIONS, "t2.medium",
+        fluctuation=weather, time_offset=QUERY_TIME,
+    )
+    return SagqTrainer(cluster, MLModelSpec(), epochs=10)
+
+
+def main() -> None:
+    weather = FluctuationModel(seed=42)
+    topology = Topology.build(PAPER_REGIONS, "t2.medium")
+    wanify = WANify(
+        topology,
+        weather,
+        WANifyConfig(n_training_datasets=40, n_estimators=30),
+    )
+    print("training WANify...")
+    wanify.train()
+
+    static = measure_independent(topology, weather, at_time=0.0).matrix
+    simultaneous = stable_runtime(
+        topology, weather, at_time=QUERY_TIME
+    ).matrix
+    predicted = wanify.predict_runtime_bw(at_time=QUERY_TIME)
+
+    runs = [
+        ("NoQ", None, None),
+        ("SAGQ", static, None),
+        ("SimQ", simultaneous, None),
+        ("PredQ", predicted, None),
+        ("WQ", predicted, wanify.deployment("wanify-tc", bw=predicted)),
+    ]
+    print(
+        f"\n{'variant':>7} {'train (min)':>12} {'network (min)':>14} "
+        f"{'cost ($)':>9} {'min BW':>8} {'accuracy':>9}"
+    )
+    for name, bw, deployment in runs:
+        result = make_trainer(weather).run(
+            name, decision_bw=bw, deployment=deployment
+        )
+        print(
+            f"{name:>7} {result.total_minutes:>12.1f} "
+            f"{result.network_s / 60:>14.1f} "
+            f"{result.cost.total_usd:>9.2f} {result.min_bw_mbps:>8.1f} "
+            f"{result.test_accuracy:>8.0%}"
+        )
+
+    print(
+        "\nExpected shape (paper Fig. 4): quantization helps (SAGQ), "
+        "runtime-accurate quantization helps more (SimQ/PredQ), and "
+        "WANify's transfers boost the minimum BW (WQ) — all at the same "
+        "~97% test accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

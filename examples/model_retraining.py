@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Model staleness and warm-start retraining (§3.3.4).
+
+WANify "tracks prediction error by intermittently comparing the
+predicted BWs with actual runtime values"; when errors exceed a
+threshold, a flag signals retraining, and the model is extended with
+the additionally collected datasets using warm start.
+
+This example stages the lifecycle:
+
+1. train the prediction model on a t2.medium fleet,
+2. show it stays accurate under network weather it has never seen
+   (snapshots generalize across fluctuation — no false alarms),
+3. upgrade the fleet to m5.large (a 4× NIC jump: the snapshot→runtime
+   mapping itself changes), watch the error tracker latch the flag,
+4. warm-start retrain on freshly collected data and verify the error
+   falls back under the threshold — note the sizing lesson: the stale
+   trees stay in the ensemble, so the fresh ones must outnumber them
+   before the flag clears,
+5. compare with a cold retrain on the merged dataset, which the severe
+   drift actually deserves.
+
+Run:  python examples/model_retraining.py
+"""
+
+from repro.core.dataset import build_training_set
+from repro.core.predictor import WanPredictionModel
+from repro.net.dynamics import FluctuationModel
+from repro.net.measurement import snapshot, stable_runtime
+from repro.net.topology import Topology
+
+REGIONS = ("us-east-1", "us-west-1", "eu-west-1", "ap-southeast-1")
+
+
+def track(model, topology, weather, times, label) -> None:
+    for at in times:
+        snap = snapshot(topology, weather, at_time=at)
+        predicted = model.predict_matrix(snap, topology)
+        actual = stable_runtime(topology, weather, at_time=at).matrix
+        err = model.track_error(predicted, actual)
+        print(
+            f"   [{label}] t={at / 3600.0:5.1f}h  mean |err| "
+            f"{err:6.1f} Mbps  retrain={model.needs_retraining}"
+        )
+
+
+def main() -> None:
+    weather = FluctuationModel(seed=11)
+    old_fleet = Topology.build(REGIONS, "t2.medium")
+
+    print("== 1. Train on the t2.medium fleet")
+    training = build_training_set(old_fleet, weather, n_datasets=40, seed=2)
+    model = WanPredictionModel(n_estimators=40, error_window=4).fit(training)
+    print(
+        f"   {len(training)} rows, accuracy {model.train_accuracy:.2f}%, "
+        f"{len(model.forest.trees)} trees"
+    )
+
+    print("== 2. Unseen weather on the same fleet: no false alarms")
+    unseen = FluctuationModel(seed=777)
+    track(model, old_fleet, unseen, [i * 7200.0 for i in range(1, 5)], "ok")
+
+    print("== 3. Fleet upgrade to m5.large: the mapping drifts")
+    new_fleet = Topology.build(REGIONS, "m5.large")
+    track(
+        model, new_fleet, weather, [i * 7200.0 for i in range(1, 7)], "drift"
+    )
+    assert model.needs_retraining, "drift should have latched the flag"
+
+    print("== 4. Warm-start retrain on freshly collected data")
+    fresh = build_training_set(new_fleet, weather, n_datasets=40, seed=5)
+    trees_before = len(model.forest.trees)
+    # The stale trees stay in the ensemble and keep voting for t2-era
+    # BWs; the fresh trees must outnumber them before predictions track
+    # the new fleet.
+    model.retrain(fresh, extra_estimators=60)
+    print(
+        f"   forest {trees_before} → {len(model.forest.trees)} trees "
+        "(fresh must outnumber stale under severe drift)"
+    )
+    track(
+        model, new_fleet, weather,
+        [50_000.0 + i * 7200.0 for i in range(1, 4)], "warm",
+    )
+    print(f"   retrain flag now: {model.needs_retraining}")
+
+    print("== 5. Cold retrain on the merged dataset (severe-drift path)")
+    cold = WanPredictionModel(n_estimators=60, error_window=4).fit(
+        training.merge(fresh)
+    )
+    track(
+        cold, new_fleet, weather,
+        [50_000.0 + i * 7200.0 for i in range(1, 4)], "cold",
+    )
+    print(
+        "   warm start suits gradual drift (§3.3.4); a fleet swap is "
+        "worth a cold fit."
+    )
+
+
+if __name__ == "__main__":
+    main()

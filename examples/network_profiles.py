@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Run WANify across WAN environments: VPC peering vs public Internet
+vs edge-cloud.
+
+The paper's testbed uses VPC peering because it outperforms the public
+Internet (§5.1); §2.1 claims the framework handles "diverse private and
+public networks, including edge-cloud and VPC".  This example runs the
+same TeraSort job on the same 3-DC cluster under each profile, first
+with vanilla single-connection Spark and then with the full WANify-TC
+deployment, and prints the latency/min-BW comparison.
+
+The shape to expect: job latency grows as the network degrades from VPC
+to edge, while WANify's *relative* gain grows — the weaker the
+single-connection floor, the more headroom parallel connections recover.
+
+Run:  python examples/network_profiles.py
+"""
+
+from repro.core.interface import WANify, WANifyConfig
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.engine import GdaEngine
+from repro.gda.systems.vanilla import LocalityPolicy
+from repro.gda.workloads.terasort import terasort_job
+from repro.net.profiles import all_profiles
+from repro.net.topology import Topology
+
+REGIONS = ("us-east-1", "us-west-1", "ap-southeast-1")
+INPUT_GB = 8.0
+
+
+def run_profile(profile) -> dict:
+    topology = Topology.build(REGIONS, "t2.medium", profile=profile)
+    weather = profile.fluctuation(seed=42)
+    wanify = WANify(
+        topology, weather, WANifyConfig(n_training_datasets=25, n_estimators=20)
+    )
+    wanify.train()
+
+    per_dc_mb = INPUT_GB * 1024.0 / len(REGIONS)
+    job = terasort_job({dc: per_dc_mb for dc in topology.keys})
+    policy = LocalityPolicy()
+
+    results = {}
+    for variant in ("single", "wanify-tc"):
+        cluster = GeoCluster.from_topology(topology, fluctuation=weather)
+        engine = GdaEngine(cluster)
+        predicted = wanify.predict_runtime_bw(at_time=2 * 24 * 3600.0)
+        deployment = wanify.deployment(variant, predicted)
+        outcome = engine.run(job, policy, predicted, deployment)
+        results[variant] = outcome
+    return results
+
+
+def main() -> None:
+    print(f"TeraSort {INPUT_GB:.0f} GB on {len(REGIONS)} DCs, per profile\n")
+    header = (
+        f"{'profile':<17}{'vanilla (min)':>14}{'wanify-tc (min)':>16}"
+        f"{'gain':>7}{'min BW x':>10}"
+    )
+    print(header)
+    for profile in all_profiles():
+        results = run_profile(profile)
+        vanilla = results["single"]
+        wanify_tc = results["wanify-tc"]
+        gain = 100.0 * (1.0 - wanify_tc.jct_s / vanilla.jct_s)
+        bw_boost = wanify_tc.min_bw_mbps / max(vanilla.min_bw_mbps, 1e-9)
+        print(
+            f"{profile.key:<17}"
+            f"{vanilla.jct_minutes:>13.1f} "
+            f"{wanify_tc.jct_minutes:>15.1f} "
+            f"{gain:>5.0f}% "
+            f"{bw_boost:>8.1f}x"
+        )
+    print(
+        "\nWANify's latency gain grows as the single-connection floor"
+        " weakens\n(VPC → public Internet → edge-cloud)."
+    )
+
+
+if __name__ == "__main__":
+    main()

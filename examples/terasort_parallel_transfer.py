@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""TeraSort with WANify's parallel data transfer (the Fig. 5 scenario).
+
+Runs 100 GB TeraSort on the 8-region cluster under four network setups —
+vanilla single-connection Spark, uniform parallel connections, WANify's
+heterogeneous connections with AIMD agents, and the full WANify-TC with
+throttling — and prints the latency / cost / minimum-BW comparison.
+
+Run:  python examples/terasort_parallel_transfer.py
+"""
+
+from repro.cloud.regions import PAPER_REGIONS
+from repro.core.interface import WANify, WANifyConfig
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.engine import GdaEngine
+from repro.gda.engine.hdfs import HdfsStore
+from repro.gda.systems.vanilla import LocalityPolicy
+from repro.gda.workloads.terasort import terasort_job
+from repro.net.dynamics import FluctuationModel
+from repro.net.topology import Topology
+
+INPUT_GB = 100
+QUERY_TIME = 2 * 24 * 3600.0
+
+
+def main() -> None:
+    weather = FluctuationModel(seed=42)
+    topology = Topology.build(PAPER_REGIONS, "t2.medium")
+
+    wanify = WANify(
+        topology,
+        weather,
+        WANifyConfig(n_training_datasets=40, n_estimators=30),
+    )
+    print("training WANify...")
+    wanify.train()
+    predicted = wanify.predict_runtime_bw(at_time=QUERY_TIME)
+
+    store = HdfsStore.uniform(PAPER_REGIONS, INPUT_GB * 1024.0)
+    job = terasort_job(store.data_by_dc())
+
+    print(f"\nTeraSort {INPUT_GB} GB on {len(PAPER_REGIONS)} DCs:")
+    header = (
+        f"{'setup':>16} {'JCT (min)':>10} {'network (min)':>14} "
+        f"{'cost ($)':>9} {'min BW (Mbps)':>14}"
+    )
+    print(header)
+    for variant in ("single", "wanify-p", "wanify-dynamic", "wanify-tc"):
+        cluster = GeoCluster.build(
+            PAPER_REGIONS,
+            "t2.medium",
+            fluctuation=weather,
+            time_offset=QUERY_TIME,
+        )
+        deployment = wanify.deployment(variant, bw=predicted)
+        result = GdaEngine(cluster).run(
+            job, LocalityPolicy(), deployment=deployment
+        )
+        print(
+            f"{variant:>16} {result.jct_minutes:>10.1f} "
+            f"{result.network_s / 60:>14.1f} "
+            f"{result.cost.total_usd:>9.2f} {result.min_bw_mbps:>14.1f}"
+        )
+
+    print(
+        "\nExpected shape (paper Fig. 5): uniform parallelism buys "
+        "nothing, heterogeneous connections cut the network phase and "
+        "multiply the cluster's minimum bandwidth."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment is offline with setuptools 65 and no ``wheel`` package,
+so PEP 660 editable installs cannot build. The shim enables the legacy
+path: ``pip install -e . --no-build-isolation --no-use-pep517``
+(or plain ``pip install -e .`` where the toolchain is newer).
+"""
+
+from setuptools import setup
+
+setup()

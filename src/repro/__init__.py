@@ -1,0 +1,66 @@
+"""WANify reproduction — runtime WAN bandwidth gauging and balancing.
+
+This package reproduces *WANify: Gauging and Balancing Runtime WAN
+Bandwidth for Geo-distributed Data Analytics* (IISWC 2025) end to end on
+a flow-level WAN simulator:
+
+* :mod:`repro.net` — the WAN substrate (topology, TCP model, contention,
+  fluctuation, measurement, traffic control);
+* :mod:`repro.ml` — from-scratch CART / Random Forest regressors;
+* :mod:`repro.core` — WANify itself (prediction model, Algorithm 1,
+  Eq. 2/3 global optimizer, AIMD local agents, heterogeneity handling);
+* :mod:`repro.gda` — a Spark-like geo-distributed analytics engine with
+  Tetrium / Kimchi / SAGQ policies and the paper's workloads;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Most users start with the facade::
+
+    from repro import WANify, Topology, FluctuationModel, PAPER_REGIONS
+
+    topology = Topology.build(PAPER_REGIONS, "t2.medium")
+    wanify = WANify(topology, FluctuationModel(seed=42))
+    wanify.train()
+    bw = wanify.predict_runtime_bw(at_time=3600.0)
+    plan = wanify.make_plan(bw)
+
+See ``examples/quickstart.py`` and README.md for a guided tour, and
+``python -m repro --help`` for the command-line interface.
+"""
+
+from repro.cloud.regions import PAPER_REGIONS
+from repro.core.globalopt import GlobalPlan, optimize_connections
+from repro.core.interface import WANify, WANifyConfig, WANifyDeployment
+from repro.core.predictor import WanPredictionModel
+from repro.net.dynamics import FluctuationModel, StaticModel
+from repro.net.matrix import BandwidthMatrix
+from repro.net.profiles import (
+    EDGE_CLOUD,
+    PUBLIC_INTERNET,
+    VPC_PEERING,
+    NetworkProfile,
+    network_profile,
+)
+from repro.net.topology import DataCenter, Topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BandwidthMatrix",
+    "DataCenter",
+    "EDGE_CLOUD",
+    "FluctuationModel",
+    "GlobalPlan",
+    "NetworkProfile",
+    "PAPER_REGIONS",
+    "PUBLIC_INTERNET",
+    "StaticModel",
+    "Topology",
+    "VPC_PEERING",
+    "WANify",
+    "WANifyConfig",
+    "WANifyDeployment",
+    "WanPredictionModel",
+    "network_profile",
+    "optimize_connections",
+    "__version__",
+]

@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five commands cover the things a downstream user does most:
+
+=============  =========================================================
+command        what it does
+=============  =========================================================
+``list``       list every reproducible experiment (tables & figures)
+``run``        run one experiment and print its paper-vs-measured table
+``report``     run everything and (re)write EXPERIMENTS.md
+``topology``   show distances, RTTs and capacities for a region set
+``predict``    train WANify and print static vs predicted runtime BWs
+               plus the optimized connection plan
+=============  =========================================================
+
+Every command is deterministic given ``--seed`` (the network weather is
+a pure function of it).  The module is import-safe: :func:`main` takes
+``argv`` and an output stream, so tests drive it without subprocesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import IO, Optional
+
+from repro.cloud.regions import PAPER_REGIONS, region
+from repro.core.interface import WANify, WANifyConfig
+from repro.net.matrix import BandwidthMatrix
+from repro.net.measurement import measure_independent
+from repro.net.profiles import network_profile
+from repro.net.topology import Topology
+
+_PROG = "python -m repro"
+
+
+def _experiment_registry():
+    """The (id, title, module) triples from the report harness.
+
+    Imported lazily — the experiment modules pull in the whole stack and
+    ``repro topology`` shouldn't pay for that.
+    """
+    from repro.experiments.report import EXPERIMENTS
+
+    return EXPERIMENTS
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_list(args: argparse.Namespace, out: IO[str]) -> int:
+    """List experiment ids and the paper artifacts they regenerate."""
+    rows = _experiment_registry()
+    width = max(len(exp_id) for exp_id, _, _ in rows)
+    for exp_id, title, module in rows:
+        out.write(f"{exp_id:<{width}}  {title}\n")
+    out.write(
+        f"\n{len(rows)} experiments; run one with "
+        f"`{_PROG} run <id>`, all with `{_PROG} report`.\n"
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace, out: IO[str]) -> int:
+    """Run a single experiment and print its rendered table."""
+    registry = {exp_id: (title, mod) for exp_id, title, mod in _experiment_registry()}
+    exp_id = args.experiment.upper()
+    if exp_id not in registry:
+        out.write(
+            f"unknown experiment {args.experiment!r}; "
+            f"`{_PROG} list` shows the valid ids.\n"
+        )
+        return 2
+    title, module = registry[exp_id]
+    out.write(f"== {exp_id}: {title} ==\n")
+    start = time.time()
+    results = module.run(fast=not args.full)
+    out.write(module.render(results))
+    out.write(f"\n({time.time() - start:.1f} s)\n")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace, out: IO[str]) -> int:
+    """Regenerate EXPERIMENTS.md (all experiments)."""
+    from repro.experiments.report import generate
+
+    path = generate(args.output)
+    out.write(f"wrote {path}\n")
+    return 0
+
+
+def cmd_topology(args: argparse.Namespace, out: IO[str]) -> int:
+    """Print the static description of a cluster."""
+    keys = tuple(args.regions) if args.regions else PAPER_REGIONS
+    try:
+        for key in keys:
+            region(key)
+        profile = network_profile(args.profile)
+        topology = Topology.build(keys, args.vm, profile=profile)
+    except KeyError as exc:
+        out.write(f"{exc.args[0]}\n")
+        return 2
+    out.write(
+        f"{topology.n} DCs, VM type {args.vm}, profile {profile.key}\n\n"
+    )
+    out.write("Great-circle distances (miles):\n")
+    out.write(topology.distance_matrix().to_table("{:7.0f}"))
+    out.write("\n\nModelled RTTs (ms):\n")
+    rtt = BandwidthMatrix(topology.keys, topology.rtt_matrix())
+    out.write(rtt.to_table("{:7.1f}"))
+    out.write("\n\nSingle-connection uncontended caps (Mbps):\n")
+    caps = BandwidthMatrix.zeros(topology.keys)
+    for src, dst in caps.pairs():
+        caps.set(src, dst, topology.single_connection_cap(src, dst))
+    out.write(caps.to_table("{:7.0f}"))
+    out.write("\n")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace, out: IO[str]) -> int:
+    """Train WANify and print static vs predicted BWs plus the plan."""
+    keys = tuple(args.regions) if args.regions else PAPER_REGIONS
+    try:
+        profile = network_profile(args.profile)
+        topology = Topology.build(keys, args.vm, profile=profile)
+    except KeyError as exc:
+        out.write(f"{exc.args[0]}\n")
+        return 2
+    weather = profile.fluctuation(seed=args.seed)
+    config = WANifyConfig(
+        n_training_datasets=args.datasets, n_estimators=args.estimators
+    )
+    wanify = WANify(topology, weather, config)
+    out.write(
+        f"training on {args.datasets} datasets "
+        f"({args.estimators} estimators) ...\n"
+    )
+    summary = wanify.train()
+    out.write(
+        f"  rows={summary['rows']:.0f}  "
+        f"target SD={summary['target_std_mbps']:.0f} Mbps  "
+        f"train accuracy={summary['train_accuracy_pct']:.2f}%\n\n"
+    )
+
+    static = measure_independent(topology, weather, at_time=0.0).matrix
+    out.write("Static-independent BWs (Mbps, measured one pair at a time):\n")
+    out.write(static.to_table())
+    predicted = wanify.predict_runtime_bw(at_time=args.at)
+    out.write(
+        f"\n\nPredicted runtime BWs at t={args.at:.0f}s (Mbps):\n"
+    )
+    out.write(predicted.to_table())
+
+    plan = wanify.make_plan(predicted)
+    out.write("\n\nOptimal connection windows (min–max per pair):\n")
+    window = BandwidthMatrix.zeros(topology.keys)
+    for src, dst in window.pairs():
+        lo, hi = plan.connection_window(src, dst)
+        window.set(src, dst, hi)
+    out.write(window.to_table("{:7.0f}"))
+    out.write(
+        f"\n\nmin BW {predicted.min_bw():.0f} → achievable "
+        f"{plan.max_bw.min_bw():.0f} Mbps "
+        f"({plan.max_bw.min_bw() / max(predicted.min_bw(), 1e-9):.1f}x)\n"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog=_PROG,
+        description="WANify reproduction — experiments and exploration.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments")
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment", help="experiment id, e.g. E-F5")
+    p_run.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale model (slower; default uses fast settings)",
+    )
+
+    p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_report.add_argument(
+        "-o", "--output", default="EXPERIMENTS.md", help="output path"
+    )
+
+    p_topo = sub.add_parser("topology", help="inspect a cluster topology")
+    p_topo.add_argument(
+        "regions", nargs="*", help="region keys (default: the paper's 8)"
+    )
+    p_topo.add_argument("--vm", default="t2.medium", help="VM type key")
+    p_topo.add_argument(
+        "--profile",
+        default="vpc-peering",
+        help="network profile: vpc-peering, public-internet, edge-cloud",
+    )
+
+    p_pred = sub.add_parser(
+        "predict", help="train WANify and print predicted BWs + plan"
+    )
+    p_pred.add_argument(
+        "regions", nargs="*", help="region keys (default: the paper's 8)"
+    )
+    p_pred.add_argument("--vm", default="t2.medium", help="VM type key")
+    p_pred.add_argument(
+        "--profile",
+        default="vpc-peering",
+        help="network profile: vpc-peering, public-internet, edge-cloud",
+    )
+    p_pred.add_argument("--seed", type=int, default=42, help="weather seed")
+    p_pred.add_argument(
+        "--at", type=float, default=7.5 * 3600.0, help="prediction time (s)"
+    )
+    p_pred.add_argument(
+        "--datasets", type=int, default=40, help="training datasets"
+    )
+    p_pred.add_argument(
+        "--estimators", type=int, default=30, help="forest size"
+    )
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "report": cmd_report,
+    "topology": cmd_topology,
+    "predict": cmd_predict,
+}
+
+
+def main(argv: Optional[list[str]] = None, out: Optional[IO[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    stream = out if out is not None else sys.stdout
+    return _COMMANDS[args.command](args, stream)

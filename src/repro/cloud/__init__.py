@@ -1,0 +1,28 @@
+"""Cloud substrate: region catalog, VM instance types, and pricing.
+
+The paper's testbed is 8 AWS regions connected by VPC peering, plus a
+multi-cloud appendix (AWS + GCP).  This package provides the static facts
+the rest of the reproduction needs:
+
+* :mod:`repro.cloud.regions` — region identifiers and geo-coordinates
+  (used for the ``Dij`` physical-distance feature and the RTT model),
+* :mod:`repro.cloud.vm` — instance types with vCPU count, memory, NIC
+  caps, and the provider's WAN throttle factor,
+* :mod:`repro.cloud.pricing` — compute / network / storage prices and
+  the Eq. 1 monitoring-cost model behind Table 2.
+"""
+
+from repro.cloud.pricing import PriceBook, monitoring_annual_cost
+from repro.cloud.regions import PAPER_REGIONS, Region, haversine_miles, region
+from repro.cloud.vm import VMType, vm_type
+
+__all__ = [
+    "PAPER_REGIONS",
+    "PriceBook",
+    "Region",
+    "VMType",
+    "haversine_miles",
+    "monitoring_annual_cost",
+    "region",
+    "vm_type",
+]

@@ -1,0 +1,89 @@
+"""Prices and the Eq. 1 monitoring-cost model.
+
+All query costs in the paper include compute, network, and storage
+(§5.1); the monitoring-cost analysis (Table 2) uses the formula
+
+    annual_cost = O × N × (x·y + z)                                (Eq. 1)
+
+with ``O`` monitoring occurrences per year, ``N`` nodes, ``x`` the
+per-instance-second compute price, ``y`` the monitoring duration, and
+``z`` the per-instance network cost of the data exchanged while
+monitoring.  Tetrium's suggestion of measuring every ~30 minutes sets
+``O``; a t3.nano does the measuring; network traffic is priced at the
+inter-region rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Seconds in a (non-leap) year; used to turn a cadence into occurrences.
+SECONDS_PER_YEAR = 365 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """Unit prices, modeled on AWS public pricing.
+
+    ``compute_per_hour`` maps VM type key → $/hour.  ``network_per_gb``
+    is the inter-region transfer price ($/GB, charged at egress).
+    ``burst_per_vcpu_hour`` is the unlimited-CPU-burst surcharge the
+    paper adds ($0.05 per vCPU-hour, §5.1).
+    """
+
+    compute_per_hour: dict[str, float] = field(
+        default_factory=lambda: {
+            "t2.medium": 0.0464,
+            "t2.large": 0.0928,
+            "t3.nano": 0.0052,
+            "m5.large": 0.096,
+            "e2-medium": 0.0335,
+        }
+    )
+    network_per_gb: float = 0.02
+    storage_per_gb_month: float = 0.023
+    burst_per_vcpu_hour: float = 0.05
+
+    def compute_cost(
+        self, vm_key: str, seconds: float, vcpus: int = 0, burst: bool = False
+    ) -> float:
+        """Cost of running ``vm_key`` for ``seconds`` (plus burst surcharge)."""
+        hourly = self.compute_per_hour[vm_key]
+        if burst:
+            hourly += self.burst_per_vcpu_hour * vcpus
+        return hourly * seconds / 3600.0
+
+    def network_cost(self, gigabytes: float) -> float:
+        """Inter-region transfer cost for ``gigabytes`` of egress."""
+        return self.network_per_gb * gigabytes
+
+    def storage_cost(self, gigabytes: float, seconds: float) -> float:
+        """S3-like storage cost for holding ``gigabytes`` for ``seconds``."""
+        months = seconds / (30 * 24 * 3600.0)
+        return self.storage_per_gb_month * gigabytes * months
+
+
+def monitoring_annual_cost(
+    nodes: int,
+    duration_s: float,
+    avg_bw_mbps: float,
+    cadence_s: float = 30 * 60.0,
+    vm_key: str = "t3.nano",
+    prices: PriceBook | None = None,
+) -> float:
+    """Annual cost of runtime BW monitoring — Eq. 1 of the paper.
+
+    Each occurrence runs ``nodes`` t3.nano probes for ``duration_s``
+    seconds, each exchanging ``avg_bw_mbps`` worth of traffic with the
+    rest of the mesh for the whole duration.
+
+    >>> cost = monitoring_annual_cost(8, 20.0, 200.0)
+    >>> cost > monitoring_annual_cost(4, 20.0, 200.0)
+    True
+    """
+    prices = prices or PriceBook()
+    occurrences = SECONDS_PER_YEAR / cadence_s
+    x_times_y = prices.compute_cost(vm_key, duration_s)
+    gigabytes = avg_bw_mbps / 8.0 * duration_s / 1024.0
+    z = prices.network_cost(gigabytes)
+    return occurrences * nodes * (x_times_y + z)

@@ -1,0 +1,106 @@
+"""Region catalog with geo-coordinates.
+
+The eight regions match Fig. 1 of the paper: US East (N. Virginia),
+US West (N. California), AP South (Mumbai), AP SE (Singapore), AP SE-2
+(Sydney), AP NE (Tokyo), EU West (Ireland), SA East (São Paulo).  GCP
+regions are included for the multi-cloud heterogeneity experiments
+(§5.8.3 mentions AWS + GCP with e2-medium).
+
+Coordinates are the publicly known metro locations of the regions; the
+physical distance between VMs (feature ``Dij`` in Table 3) is computed
+with the haversine formula, in miles as the paper specifies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Region:
+    """A cloud region: identifier, human name, provider, and location."""
+
+    key: str
+    name: str
+    provider: str
+    latitude: float
+    longitude: float
+
+    def distance_miles(self, other: "Region") -> float:
+        """Great-circle distance to ``other`` in miles."""
+        return haversine_miles(
+            self.latitude, self.longitude, other.latitude, other.longitude
+        )
+
+
+_EARTH_RADIUS_MILES = 3958.7613
+
+
+def haversine_miles(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Great-circle distance between two (lat, lon) points in miles.
+
+    >>> round(haversine_miles(0, 0, 0, 180))
+    12436
+    """
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlmb = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2) ** 2
+    )
+    return 2 * _EARTH_RADIUS_MILES * math.asin(math.sqrt(a))
+
+
+_CATALOG: dict[str, Region] = {
+    r.key: r
+    for r in [
+        # The 8 AWS regions of Fig. 1.
+        Region("us-east-1", "US East (N. Virginia)", "aws", 38.95, -77.45),
+        Region("us-west-1", "US West (N. California)", "aws", 37.35, -121.96),
+        Region("ap-south-1", "AP South (Mumbai)", "aws", 19.08, 72.88),
+        Region("ap-southeast-1", "AP SE (Singapore)", "aws", 1.35, 103.82),
+        Region("ap-southeast-2", "AP SE-2 (Sydney)", "aws", -33.87, 151.21),
+        Region("ap-northeast-1", "AP NE (Tokyo)", "aws", 35.68, 139.69),
+        Region("eu-west-1", "EU West (Ireland)", "aws", 53.34, -6.27),
+        Region("sa-east-1", "SA East (São Paulo)", "aws", -23.55, -46.63),
+        # GCP regions used for the multi-cloud appendix.
+        Region("gcp-us-east1", "GCP US East (S. Carolina)", "gcp", 33.84, -81.16),
+        Region("gcp-europe-west1", "GCP EU West (Belgium)", "gcp", 50.45, 3.82),
+        Region("gcp-asia-east1", "GCP Asia East (Taiwan)", "gcp", 24.05, 120.52),
+    ]
+}
+
+#: The 8 AWS regions used throughout the paper's evaluation, in the order
+#: they appear in Fig. 1.
+PAPER_REGIONS: tuple[str, ...] = (
+    "us-east-1",
+    "us-west-1",
+    "ap-south-1",
+    "ap-southeast-1",
+    "ap-southeast-2",
+    "ap-northeast-1",
+    "eu-west-1",
+    "sa-east-1",
+)
+
+
+def region(key: str) -> Region:
+    """Look up a region by key.
+
+    >>> region("us-east-1").provider
+    'aws'
+    """
+    try:
+        return _CATALOG[key]
+    except KeyError:
+        known = ", ".join(sorted(_CATALOG))
+        raise KeyError(f"unknown region {key!r}; known: {known}") from None
+
+
+def all_regions() -> list[Region]:
+    """All catalogued regions (AWS then GCP, stable order)."""
+    return list(_CATALOG.values())

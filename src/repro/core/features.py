@@ -1,0 +1,67 @@
+"""Table 3: the feature schema of the runtime BW prediction model.
+
+One training/inference row describes one ordered DC pair at one instant:
+
+=========  ==========================================================
+feature    description (from Table 3)
+=========  ==========================================================
+``N``      number of DCs in the VM-based cluster
+``S_BWij`` real-time snapshot BW between VMs at DCs i and j (Mbps)
+``Md``     memory utilization at the receiving end
+``Ci``     CPU load at the VM in DC i (the sender)
+``Nr``     number of retransmissions
+``Dij``    physical distance (miles) between VMs at DCs i and j
+=========  ==========================================================
+
+The paper notes all six were significant during model training (§5.1);
+the feature-importance test in ``tests/core/test_predictor.py`` checks
+ours are all used too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.measurement import MeasurementReport
+from repro.net.topology import Topology
+
+#: Canonical feature order for every model in this repo.
+FEATURE_NAMES: tuple[str, ...] = ("N", "S_BWij", "Md", "Ci", "Nr", "Dij")
+
+
+def pair_feature_vector(
+    report: MeasurementReport,
+    topology: Topology,
+    src: str,
+    dst: str,
+) -> np.ndarray:
+    """Build one feature row from a snapshot report for pair (src, dst).
+
+    >>> # doctest-level sanity is covered in tests; see FEATURE_NAMES.
+    """
+    snapshot_bw = report.matrix.get(src, dst)
+    return np.array(
+        [
+            float(topology.n),
+            snapshot_bw,
+            report.memory_util.get(dst, 0.0),
+            report.cpu_load.get(src, 0.0),
+            report.retransmissions.get((src, dst), 0.0),
+            topology.distance_miles(src, dst),
+        ]
+    )
+
+
+def report_feature_rows(
+    report: MeasurementReport, topology: Topology
+) -> tuple[list[tuple[str, str]], np.ndarray]:
+    """Feature rows for every ordered pair in a snapshot report.
+
+    Returns the pair labels and the (n_pairs × 6) feature array in the
+    same order.
+    """
+    pairs = list(report.matrix.pairs())
+    rows = np.stack(
+        [pair_feature_vector(report, topology, s, d) for s, d in pairs]
+    )
+    return pairs, rows

@@ -1,0 +1,117 @@
+"""Heterogeneity handling (§3.3).
+
+Three mechanisms:
+
+* **skew weights** ``ws`` — per-DC factors derived from the input-data
+  distribution in the underlying storage (HDFS); data-heavy DCs get a
+  proportionally larger share of the connection budget (§3.3.1);
+* **refactoring vector** ``rvec`` — a-priori per-DC scaling for
+  multi-cloud / heterogeneous VM deployments whose BWs "vary
+  proportionally" (§3.3.3); optional, defaults to all ones;
+* **association** — when a DC hosts multiple VMs they are treated as one
+  large VM for global optimization (BWs summed), and the resulting plan
+  is proportionally chunked back across the workers (§3.3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.globalopt import GlobalPlan
+from repro.net.matrix import BandwidthMatrix
+
+
+def skew_weights_from_sizes(data_mb_by_dc: dict[str, float]) -> dict[str, float]:
+    """Per-DC skew weights from input-data volumes, normalized to mean 1.
+
+    >>> w = skew_weights_from_sizes({"a": 300.0, "b": 100.0, "c": 200.0})
+    >>> round(w["a"], 2), round(w["b"], 2)
+    (1.5, 0.5)
+    """
+    if not data_mb_by_dc:
+        raise ValueError("empty data distribution")
+    total = sum(data_mb_by_dc.values())
+    if total <= 0:
+        raise ValueError(f"non-positive total data volume: {total}")
+    n = len(data_mb_by_dc)
+    return {
+        dc: max(0.05, size / total * n) for dc, size in data_mb_by_dc.items()
+    }
+
+
+def refactoring_vector(
+    providers: dict[str, str], provider_factors: dict[str, float] | None = None
+) -> dict[str, float]:
+    """Build rvec from each DC's provider (aws/gcp/...).
+
+    ``provider_factors`` maps provider → empirically derived BW scaling
+    (default: identity for AWS, slight discount for GCP cross-cloud
+    paths, matching the paper's "vary proportionally" observation).
+    """
+    factors = provider_factors or {"aws": 1.0, "gcp": 0.9}
+    out = {}
+    for dc, provider in providers.items():
+        factor = factors.get(provider, 1.0)
+        if factor <= 0:
+            raise ValueError(
+                f"rvec factor must be positive: {provider}={factor}"
+            )
+        out[dc] = factor
+    return out
+
+
+def associated_bw(
+    per_vm_bw: BandwidthMatrix, vms_per_dc: dict[str, int]
+) -> BandwidthMatrix:
+    """Association: sum per-VM BWs into per-DC capacity (§3.3.3).
+
+    A pair's combined BW scales with the smaller VM fleet of its two
+    endpoints (transfers are VM-to-VM and pair up across DCs).
+    """
+    out = per_vm_bw.copy()
+    for src, dst in out.pairs():
+        scale = min(vms_per_dc.get(src, 1), vms_per_dc.get(dst, 1))
+        if scale < 1:
+            raise ValueError(f"VM counts must be ≥ 1: {vms_per_dc}")
+        out.set(src, dst, out.get(src, dst) * scale)
+    return out
+
+
+def chunk_plan_for_workers(
+    plan: GlobalPlan, dc: str, num_vms: int
+) -> list[dict[str, tuple[int, int]]]:
+    """Split a DC's connection windows across its VMs (§3.3.3).
+
+    "Once connections are optimized by treating multiple VMs in a DC as
+    1 large VM, the global optimization results are proportionally
+    chunked and distributed among workers."  Each worker receives a
+    per-destination (min, max) window; sums across workers equal the
+    DC-level window (within rounding, every worker keeps ≥ 1).
+    """
+    if num_vms < 1:
+        raise ValueError(f"num_vms must be ≥ 1: {num_vms}")
+    workers: list[dict[str, tuple[int, int]]] = [
+        {} for _ in range(num_vms)
+    ]
+    for dst in plan.keys:
+        if dst == dc:
+            continue
+        lo, hi = plan.connection_window(dc, dst)
+        lo_split = _proportional_chunks(lo, num_vms)
+        hi_split = _proportional_chunks(hi, num_vms)
+        for w in range(num_vms):
+            workers[w][dst] = (
+                max(1, lo_split[w]), max(1, hi_split[w])
+            )
+    return workers
+
+
+def _proportional_chunks(total: int, parts: int) -> list[int]:
+    """Split ``total`` into ``parts`` near-equal non-negative integers.
+
+    >>> _proportional_chunks(8, 3)
+    [3, 3, 2]
+    """
+    base = total // parts
+    remainder = total % parts
+    return [base + (1 if i < remainder else 0) for i in range(parts)]

@@ -1,0 +1,129 @@
+"""WAN Prediction Model (§3.1, §4.1.1) with staleness handling (§3.3.4).
+
+A Random Forest regressor maps Table 3 feature rows to stable runtime
+BWs.  ``predict_matrix`` turns one cheap snapshot report into a full
+runtime BW matrix — the artifact existing GDA systems consume in place
+of their static-independent iPerf numbers.
+
+Staleness: ``track_error`` intermittently compares predictions against
+actual runtime values; once the rolling error exceeds the configured
+threshold the ``needs_retraining`` flag latches (the paper uses a
+log-based flag), and ``retrain`` extends the forest with warm start on
+the additionally collected rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import TrainingSet
+from repro.core.features import report_feature_rows
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import training_accuracy
+from repro.net.matrix import BandwidthMatrix
+from repro.net.measurement import MeasurementReport
+from repro.net.topology import Topology
+
+#: The paper settles on 100 estimators (§5.1).
+DEFAULT_ESTIMATORS = 100
+
+#: Significance boundary used throughout the paper (Mbps).
+SIGNIFICANT_MBPS = 100.0
+
+
+@dataclass
+class WanPredictionModel:
+    """RF-backed runtime-BW predictor."""
+
+    n_estimators: int = DEFAULT_ESTIMATORS
+    max_depth: int | None = None
+    error_threshold_mbps: float = SIGNIFICANT_MBPS
+    error_window: int = 32
+    random_state: int = 13
+    forest: RandomForestRegressor = field(init=False, repr=False)
+    needs_retraining: bool = field(default=False, init=False)
+    _errors: list[float] = field(default_factory=list, init=False, repr=False)
+    _train_accuracy: float | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self.forest = RandomForestRegressor(
+            n_estimators=self.n_estimators,
+            max_depth=self.max_depth,
+            max_features="sqrt",
+            warm_start=True,
+            random_state=self.random_state,
+        )
+
+    def fit(self, training: TrainingSet) -> "WanPredictionModel":
+        """Train on the collected dataset; records training accuracy."""
+        self.forest.fit(training.X, training.y)
+        preds = self.forest.predict(training.X)
+        self._train_accuracy = training_accuracy(training.y, preds)
+        self.needs_retraining = False
+        self._errors.clear()
+        return self
+
+    @property
+    def train_accuracy(self) -> float:
+        """Training accuracy percentage (the paper quotes 98.51%)."""
+        if self._train_accuracy is None:
+            raise RuntimeError("model is not fitted")
+        return self._train_accuracy
+
+    @property
+    def feature_importances(self) -> np.ndarray:
+        """Normalized feature importances in Table 3 order."""
+        return self.forest.feature_importances_
+
+    def predict_rows(self, X: np.ndarray) -> np.ndarray:
+        """Predict runtime BW for raw feature rows."""
+        return np.maximum(0.0, self.forest.predict(X))
+
+    def predict_matrix(
+        self, report: MeasurementReport, topology: Topology
+    ) -> BandwidthMatrix:
+        """Predict the full runtime BW matrix from one snapshot report."""
+        pairs, rows = report_feature_rows(report, topology)
+        preds = self.predict_rows(rows)
+        out = BandwidthMatrix.zeros(topology.keys)
+        for (src, dst), value in zip(pairs, preds):
+            out.set(src, dst, float(value))
+        return out
+
+    # ------------------------------------------------------------------
+    # Staleness (§3.3.4)
+    # ------------------------------------------------------------------
+
+    def track_error(
+        self, predicted: BandwidthMatrix, actual: BandwidthMatrix
+    ) -> float:
+        """Record one predicted-vs-actual comparison; returns mean |err|.
+
+        Latches :attr:`needs_retraining` when the rolling mean error
+        exceeds the threshold.
+        """
+        if actual.keys != predicted.keys:
+            actual = actual.subset(predicted.keys)
+        err = float(
+            np.abs(predicted.off_diagonal() - actual.off_diagonal()).mean()
+        )
+        self._errors.append(err)
+        if len(self._errors) > self.error_window:
+            del self._errors[: len(self._errors) - self.error_window]
+        if np.mean(self._errors) > self.error_threshold_mbps:
+            self.needs_retraining = True
+        return err
+
+    def retrain(
+        self, additional: TrainingSet, extra_estimators: int = 20
+    ) -> "WanPredictionModel":
+        """Warm-start retraining on additionally collected data."""
+        self.forest.n_estimators = len(self.forest.trees) + extra_estimators
+        self.forest.fit(additional.X, additional.y)
+        preds = self.forest.predict(additional.X)
+        self._train_accuracy = training_accuracy(additional.y, preds)
+        self.needs_retraining = False
+        self._errors.clear()
+        return self

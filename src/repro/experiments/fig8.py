@@ -1,0 +1,196 @@
+"""Fig. 8 — validation of WANify's design (§5.5).
+
+(a) **Ablation** on TPC-DS query 78 for Tetrium and Kimchi:
+
+    * Vanilla — unmodified system (static-independent BWs, single
+      connection),
+    * Global only — global optimizer's heterogeneous connections applied
+      statically (no AIMD agents, no throttling),
+    * Local only — AIMD agents within a static 1–8 window (no inferred
+      DC closeness),
+    * WANify — everything enabled.
+
+    Paper: Global only ≈ 16% better latency than Vanilla (~1.2× min
+    BW); Local only ≈ 11% (~1.1×), i.e. ~5% worse than Global only;
+    full WANify best at ≈ 23%.
+
+(b) **Prediction-error impact**: ±100 Mbps (the significance boundary)
+    randomly added to the predicted BWs.  Paper: +18% latency, +5%
+    cost, −38% minimum BW versus clean WANify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cloud.regions import PAPER_REGIONS
+from repro.experiments import common
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.engine import GdaEngine
+from repro.gda.engine.hdfs import HdfsStore
+from repro.gda.systems.kimchi import KimchiPolicy
+from repro.gda.systems.tetrium import TetriumPolicy
+from repro.gda.workloads.tpcds import tpcds_job
+from repro.net.matrix import BandwidthMatrix
+from repro.net.measurement import measure_independent
+
+QUERY = 78
+INPUT_MB = 100 * 1024.0
+
+PAPER_GLOBAL_ONLY_GAIN = 16.0
+PAPER_LOCAL_ONLY_GAIN = 11.0
+PAPER_FULL_GAIN = 23.0
+PAPER_ERR_LATENCY_PCT = 18.0
+PAPER_ERR_COST_PCT = 5.0
+PAPER_ERR_MIN_BW_DROP_PCT = 38.0
+
+
+def perturbed_matrix(
+    matrix: BandwidthMatrix, delta_mbps: float = 100.0, seed: int = 3
+) -> BandwidthMatrix:
+    """Randomly add/subtract ``delta_mbps`` per pair (WANify-err)."""
+    rng = np.random.default_rng(seed)
+    out = matrix.copy()
+    for src, dst in out.pairs():
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        out.set(src, dst, max(5.0, out.get(src, dst) + sign * delta_mbps))
+    return out
+
+
+def _run(
+    policy, job, weather, at_time, decision_bw, deployment=None
+):
+    cluster = GeoCluster.build(
+        PAPER_REGIONS, "t2.medium", fluctuation=weather, time_offset=at_time
+    )
+    return GdaEngine(cluster).run(
+        job, policy, decision_bw=decision_bw, deployment=deployment
+    )
+
+
+def run(fast: bool = True, at_time: float = common.ALT_EVAL_TIME) -> dict:
+    """Run the ablation and the error-injection comparison."""
+    wanify = common.trained_wanify(fast)
+    weather = common.fluctuation()
+    topology = common.worker_topology()
+    static = measure_independent(topology, weather, at_time=0.0).matrix
+    predicted = wanify.predict_runtime_bw(at_time=at_time)
+    store = HdfsStore.uniform(PAPER_REGIONS, INPUT_MB)
+    job = tpcds_job(QUERY, store.data_by_dc())
+
+    ablation = {}
+    for system, policy_cls in (
+        ("tetrium", TetriumPolicy),
+        ("kimchi", KimchiPolicy),
+    ):
+        vanilla = _run(policy_cls(), job, weather, at_time, static)
+        global_only = _run(
+            policy_cls(), job, weather, at_time, predicted,
+            wanify.deployment("global-only", bw=predicted),
+        )
+        local_only = _run(
+            policy_cls(), job, weather, at_time, predicted,
+            wanify.deployment("local-only", bw=predicted),
+        )
+        full = _run(
+            policy_cls(), job, weather, at_time, predicted,
+            wanify.deployment("wanify-tc", bw=predicted),
+        )
+        ablation[system] = {
+            "vanilla_min": vanilla.jct_minutes,
+            "global_only_gain_pct": common.improvement_pct(
+                vanilla.jct_s, global_only.jct_s
+            ),
+            "local_only_gain_pct": common.improvement_pct(
+                vanilla.jct_s, local_only.jct_s
+            ),
+            "full_gain_pct": common.improvement_pct(
+                vanilla.jct_s, full.jct_s
+            ),
+            "global_min_bw_ratio": common.ratio(
+                global_only.min_bw_mbps, vanilla.min_bw_mbps
+            ),
+            "local_min_bw_ratio": common.ratio(
+                local_only.min_bw_mbps, vanilla.min_bw_mbps
+            ),
+            "full_min_bw_ratio": common.ratio(
+                full.min_bw_mbps, vanilla.min_bw_mbps
+            ),
+        }
+
+    # (b) error injection, on Tetrium as in the paper's narrative;
+    # averaged over sign patterns (one ±100 draw is high-variance).
+    clean = _run(
+        TetriumPolicy(), job, weather, at_time, predicted,
+        wanify.deployment("wanify-tc", bw=predicted),
+    )
+    latency_deltas, cost_deltas, bw_drops = [], [], []
+    for seed in (3, 5, 11):
+        noisy_bw = perturbed_matrix(predicted, seed=seed)
+        err = _run(
+            TetriumPolicy(), job, weather, at_time, noisy_bw,
+            wanify.deployment("wanify-tc", bw=noisy_bw),
+        )
+        latency_deltas.append(
+            -common.improvement_pct(clean.jct_s, err.jct_s)
+        )
+        cost_deltas.append(
+            -common.improvement_pct(
+                clean.cost.total_usd, err.cost.total_usd
+            )
+        )
+        bw_drops.append(
+            100.0
+            * (1.0 - common.ratio(err.min_bw_mbps, clean.min_bw_mbps))
+        )
+    error_impact = {
+        "latency_increase_pct": float(np.mean(latency_deltas)),
+        "cost_increase_pct": float(np.mean(cost_deltas)),
+        "min_bw_drop_pct": float(np.mean(bw_drops)),
+        "per_seed_latency_pct": latency_deltas,
+    }
+
+    return {
+        "ablation": ablation,
+        "error_impact": error_impact,
+        "paper": {
+            "global_only_gain": PAPER_GLOBAL_ONLY_GAIN,
+            "local_only_gain": PAPER_LOCAL_ONLY_GAIN,
+            "full_gain": PAPER_FULL_GAIN,
+            "err_latency_pct": PAPER_ERR_LATENCY_PCT,
+            "err_cost_pct": PAPER_ERR_COST_PCT,
+            "err_min_bw_drop_pct": PAPER_ERR_MIN_BW_DROP_PCT,
+        },
+    }
+
+
+def render(results: dict) -> str:
+    """Print both panels of Fig. 8."""
+    lines = ["Fig. 8(a): ablation on TPC-DS q78 (latency gain vs vanilla, %)"]
+    lines.append(
+        f"{'system':>8} {'global only':>12} {'local only':>11} {'full':>6}"
+    )
+    for system, row in results["ablation"].items():
+        lines.append(
+            f"{system:>8} {row['global_only_gain_pct']:>12.1f} "
+            f"{row['local_only_gain_pct']:>11.1f} "
+            f"{row['full_gain_pct']:>6.1f}"
+        )
+    paper = results["paper"]
+    lines.append(
+        f"{'paper':>8} {paper['global_only_gain']:>12.1f} "
+        f"{paper['local_only_gain']:>11.1f} {paper['full_gain']:>6.1f}"
+    )
+    err = results["error_impact"]
+    lines.append(
+        "Fig. 8(b): WANify-err vs WANify — latency "
+        f"+{err['latency_increase_pct']:.1f}% (paper +{paper['err_latency_pct']:.0f}%), "
+        f"cost +{err['cost_increase_pct']:.1f}% (paper +{paper['err_cost_pct']:.0f}%), "
+        f"min BW −{err['min_bw_drop_pct']:.1f}% "
+        f"(paper −{paper['err_min_bw_drop_pct']:.0f}%)"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,141 @@
+"""Iridium [33] under WANify — extending the Table 4 methodology to the
+third WAN-aware system the paper cites.
+
+§2.1 groups Iridium with Tetrium and Kimchi as systems that "measure
+BWs statically and independently to identify weak links" and would
+therefore benefit from runtime BWs.  Iridium's signature mechanism is
+*data placement* — moving input chunks off bottleneck sites before the
+shuffle — so the scenario where BW accuracy matters to it is a skewed
+input whose heavy site is WAN-bottlenecked at runtime (the §2.2 /
+Fig. 10 premise): 30% of the input sits in AP SE, which static
+measurement ranks mid-pack but runtime measurement ranks near the
+bottom (the Table 1 ordering inversion).
+
+Treatments per query:
+
+* **static** — static-independent iPerf BWs, single connection: the
+  data placement aims at the *statically* weak sites,
+* **predicted** — WANify-predicted runtime BWs, single connection: the
+  greedy moves the right data,
+* **wanify-tc** — predicted BWs plus the heterogeneous-connection
+  deployment.
+
+Expected shape: predicted BWs give a modest JCT/cost edge over static
+(the data placement stops mis-aiming), and the full deployment holds
+that JCT while multiplying the cluster's minimum BW — Iridium's
+network-only task placement is slot-bound on this testbed, so its
+latency headroom is smaller than Tetrium/Kimchi's (Table 4), which is
+itself a finding: WANify's gains concentrate in systems whose
+placements respond to BW.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.regions import PAPER_REGIONS
+from repro.experiments import common
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.engine import GdaEngine
+from repro.gda.systems.iridium import IridiumPolicy
+from repro.gda.workloads.tpcds import tpcds_job
+from repro.net.measurement import measure_independent
+
+QUERIES = (95, 78)
+INPUT_MB = 100 * 1024.0
+
+#: The runtime-bottlenecked DC that hoards the skewed input.
+HEAVY_DC = "ap-southeast-1"
+
+#: Fraction of the input sitting in the heavy DC.
+SKEW_FRACTION = 0.30
+
+
+def skewed_input() -> dict[str, float]:
+    """100 GB with 30% in the heavy DC, the rest uniform."""
+    rest = (1.0 - SKEW_FRACTION) / (len(PAPER_REGIONS) - 1)
+    return {
+        dc: INPUT_MB * (SKEW_FRACTION if dc == HEAVY_DC else rest)
+        for dc in PAPER_REGIONS
+    }
+
+
+def _run_query(query: int, bw, weather, at_time: float, deployment=None):
+    cluster = GeoCluster.build(
+        PAPER_REGIONS, "t2.medium", fluctuation=weather, time_offset=at_time
+    )
+    job = tpcds_job(query, skewed_input())
+    return GdaEngine(cluster).run(
+        job, IridiumPolicy(), decision_bw=bw, deployment=deployment
+    )
+
+
+def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
+    """Three treatments per query, Iridium throughout."""
+    wanify = common.trained_wanify(fast)
+    weather = common.fluctuation()
+    topology = common.worker_topology()
+
+    static = measure_independent(topology, weather, at_time=0.0).matrix
+    predicted = wanify.predict_runtime_bw(at_time=at_time)
+
+    rows = {}
+    for query in QUERIES:
+        base = _run_query(query, static, weather, at_time)
+        pred = _run_query(query, predicted, weather, at_time)
+        full = _run_query(
+            query,
+            predicted,
+            weather,
+            at_time,
+            deployment=wanify.deployment("wanify-tc", predicted),
+        )
+        rows[query] = {
+            "base_jct_min": base.jct_minutes,
+            "base_migration_mb": base.migration_mb,
+            "pred_migration_mb": pred.migration_mb,
+            "pred_perf": common.improvement_pct(base.jct_s, pred.jct_s),
+            "pred_cost": common.improvement_pct(
+                base.cost.total_usd, pred.cost.total_usd
+            ),
+            "full_perf": common.improvement_pct(base.jct_s, full.jct_s),
+            "full_cost": common.improvement_pct(
+                base.cost.total_usd, full.cost.total_usd
+            ),
+            "min_bw_ratio": full.min_bw_mbps / max(base.min_bw_mbps, 1e-9),
+        }
+    return {"rows": rows}
+
+
+def render(results: dict) -> str:
+    """Per-query treatment table plus the data-placement volumes."""
+    lines = [
+        "Iridium [33] under WANify (TPC-DS, 100 GB, 30% skew into AP SE;"
+        " % vs static BWs)",
+        f"{'query':>5} {'base min':>9} {'moved GB s/p':>13} "
+        f"{'pred perf':>10} {'pred cost':>10} "
+        f"{'full perf':>10} {'full cost':>10} {'minBW ×':>8}",
+    ]
+    for query, row in results["rows"].items():
+        moved = (
+            f"{row['base_migration_mb'] / 1024:.1f}/"
+            f"{row['pred_migration_mb'] / 1024:.1f}"
+        )
+        lines.append(
+            f"{query:>5} {row['base_jct_min']:>9.1f} {moved:>13} "
+            f"{row['pred_perf']:>10.1f} {row['pred_cost']:>10.1f} "
+            f"{row['full_perf']:>10.1f} {row['full_cost']:>10.1f} "
+            f"{row['min_bw_ratio']:>8.2f}"
+        )
+    heavy = results["rows"][78]
+    lines.append(
+        f"q78: accurate BWs re-aim the data placement "
+        f"({heavy['pred_perf']:+.1f}% JCT, {heavy['pred_cost']:+.1f}% cost); "
+        f"the full deployment holds JCT at ×{heavy['min_bw_ratio']:.1f} "
+        "min BW.  Iridium's slot-bound task placement leaves it less "
+        "latency headroom than Tetrium/Kimchi — WANify's gains "
+        "concentrate in systems whose placements respond to BW."
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,89 @@
+"""Network-profile ablation — §2.1's "diverse private and public
+networks, including edge-cloud and VPC".
+
+The paper's testbed uses VPC peering because it outperforms the public
+Internet (§5.1, citing Skyplane [23]); §2.1 claims WANify handles
+diverse network types.  This experiment runs the identical
+predict→optimize pipeline on three profiles (VPC peering, public
+Internet, edge-cloud) over the same 3-DC cluster and reports:
+
+* the single-connection minimum BW (what vanilla GDA systems see),
+* WANify's achievable minimum BW after heterogeneous parallelization,
+* the resulting uplift factor.
+
+Expected shape: absolute BWs fall from VPC → public → edge, while the
+WANify uplift *rises* — the weaker the single-connection floor, the more
+headroom heterogeneous parallel connections recover.  The prediction
+model is retrained per profile (different weather and path constants),
+exactly as a real deployment would.
+"""
+
+from __future__ import annotations
+
+from repro.core.interface import WANify, WANifyConfig
+from repro.experiments import common
+from repro.net.profiles import all_profiles
+from repro.net.topology import Topology
+
+#: The 3-DC corner of the testbed used throughout §2.2.
+TRIAD = ("us-east-1", "us-west-1", "ap-southeast-1")
+
+
+def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
+    """Run the pipeline on every profile; returns per-profile metrics."""
+    config = (
+        WANifyConfig(n_training_datasets=30, n_estimators=20)
+        if fast
+        else WANifyConfig(n_training_datasets=80, n_estimators=60)
+    )
+    rows = []
+    for profile in all_profiles():
+        topology = Topology.build(TRIAD, "t2.medium", profile=profile)
+        weather = profile.fluctuation(seed=common.WEATHER_SEED)
+        wanify = WANify(topology, weather, config)
+        summary = wanify.train()
+        predicted = wanify.predict_runtime_bw(at_time=at_time)
+        plan = wanify.make_plan(predicted)
+        single_min = predicted.min_bw()
+        achievable_min = plan.max_bw.min_bw()
+        rows.append(
+            {
+                "profile": profile.key,
+                "train_accuracy_pct": summary["train_accuracy_pct"],
+                "single_min_bw": single_min,
+                "wanify_min_bw": achievable_min,
+                "uplift": achievable_min / max(single_min, 1e-9),
+            }
+        )
+    return {"rows": rows}
+
+
+def render(results: dict) -> str:
+    """Fixed-width per-profile table."""
+    lines = [
+        "Profile ablation: same pipeline, three WAN environments "
+        "(3-DC cluster)",
+        "",
+        f"{'profile':<17}{'train acc %':>12}{'min BW (1 conn)':>17}"
+        f"{'min BW (WANify)':>17}{'uplift':>9}",
+    ]
+    for row in results["rows"]:
+        lines.append(
+            f"{row['profile']:<17}"
+            f"{row['train_accuracy_pct']:>11.1f} "
+            f"{row['single_min_bw']:>14.0f}   "
+            f"{row['wanify_min_bw']:>14.0f}   "
+            f"{row['uplift']:>7.1f}x"
+        )
+    lines.append("")
+    lines.append(
+        "Shape check: absolute BWs fall VPC → public → edge; the WANify"
+    )
+    lines.append(
+        "uplift holds (or grows) as the single-connection floor weakens."
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,17 @@
+"""Spark-like geo-distributed data analytics substrate.
+
+* :mod:`repro.gda.engine` — HDFS-like block store, job/stage specs, the
+  execution engine (shuffles run through :mod:`repro.net`), and cost
+  accounting;
+* :mod:`repro.gda.systems` — placement policies: vanilla locality-aware
+  Spark, Tetrium [21], Kimchi [30], and the SAGQ [15] quantized geo-ML
+  trainer;
+* :mod:`repro.gda.workloads` — TeraSort, WordCount, TPC-DS query
+  skeletons (82/95/11/78), and the MNIST-scale ML model.
+"""
+
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.dag import JobSpec, StageSpec
+from repro.gda.engine.engine import GdaEngine, JobResult
+
+__all__ = ["GdaEngine", "GeoCluster", "JobResult", "JobSpec", "StageSpec"]

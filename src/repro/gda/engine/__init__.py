@@ -1,0 +1,20 @@
+"""Execution engine: block store, DAGs, cluster, costs, and the runner."""
+
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.cost import CostBreakdown, job_cost
+from repro.gda.engine.dag import JobSpec, StageSpec
+from repro.gda.engine.engine import GdaEngine, JobResult, StageMetrics
+from repro.gda.engine.hdfs import Block, HdfsStore
+
+__all__ = [
+    "Block",
+    "CostBreakdown",
+    "GdaEngine",
+    "GeoCluster",
+    "HdfsStore",
+    "JobResult",
+    "JobSpec",
+    "StageMetrics",
+    "StageSpec",
+    "job_cost",
+]

@@ -1,0 +1,61 @@
+"""Query cost accounting.
+
+"All query costs include compute, network, and storage costs" (§5.1).
+Compute bills every cluster VM for the query's wall-clock duration (the
+cluster is reserved for the query) plus the unlimited-burst surcharge;
+network bills inter-region egress per GB; storage bills the S3-mounted
+input for the query duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.pricing import PriceBook
+from repro.gda.engine.cluster import GeoCluster
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Dollars by category."""
+
+    compute_usd: float
+    network_usd: float
+    storage_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        """Grand total."""
+        return self.compute_usd + self.network_usd + self.storage_usd
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            self.compute_usd + other.compute_usd,
+            self.network_usd + other.network_usd,
+            self.storage_usd + other.storage_usd,
+        )
+
+
+def job_cost(
+    cluster: GeoCluster,
+    jct_s: float,
+    wan_mbits: float,
+    input_mb: float,
+    prices: PriceBook | None = None,
+) -> CostBreakdown:
+    """Price a finished job.
+
+    ``wan_mbits`` is total inter-DC traffic (egress-billed);
+    ``input_mb`` the stored input volume.
+    """
+    if jct_s < 0:
+        raise ValueError(f"negative JCT: {jct_s}")
+    prices = prices or cluster.prices
+    compute = 0.0
+    for dc in cluster.topology.dcs:
+        compute += dc.num_vms * prices.compute_cost(
+            dc.vm.key, jct_s, vcpus=dc.vm.vcpus, burst=True
+        )
+    network = prices.network_cost(wan_mbits / 8.0 / 1024.0)
+    storage = prices.storage_cost(input_mb / 1024.0, jct_s)
+    return CostBreakdown(compute, network, storage)

@@ -1,0 +1,76 @@
+"""Job and stage specifications.
+
+A job is a linear chain of stages (the DAGs of the evaluated workloads
+are chains of map/shuffle stages; see :mod:`repro.gda.workloads`).  A
+stage is described by its compute intensity, its data reduction ratio,
+and whether its input arrives via an all-to-all shuffle from the
+previous stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of a GDA job.
+
+    ``cpu_s_per_mb`` — vCPU-seconds needed per MB of stage input (the
+    calibration knob for compute-vs-network balance);
+    ``output_ratio`` — MB of stage output per MB of stage input;
+    ``shuffle`` — whether input arrives via all-to-all shuffle (reduce
+    stages) or is processed in place (map/scan stages).
+    """
+
+    name: str
+    cpu_s_per_mb: float
+    output_ratio: float
+    shuffle: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cpu_s_per_mb < 0:
+            raise ValueError(f"negative cpu_s_per_mb: {self.cpu_s_per_mb}")
+        if self.output_ratio < 0:
+            raise ValueError(f"negative output_ratio: {self.output_ratio}")
+
+
+@dataclass
+class JobSpec:
+    """A named chain of stages over a geo-distributed input."""
+
+    name: str
+    stages: list[StageSpec]
+    input_mb_by_dc: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError(f"job {self.name!r} has no stages")
+        if self.stages[0].shuffle:
+            raise ValueError(
+                f"job {self.name!r}: first stage cannot be a shuffle"
+            )
+        negatives = {
+            dc: mb for dc, mb in self.input_mb_by_dc.items() if mb < 0
+        }
+        if negatives:
+            raise ValueError(f"negative input volumes: {negatives}")
+
+    @property
+    def total_input_mb(self) -> float:
+        """Total input volume."""
+        return sum(self.input_mb_by_dc.values())
+
+    def shuffle_stages(self) -> list[StageSpec]:
+        """The stages that move data over the WAN."""
+        return [s for s in self.stages if s.shuffle]
+
+    def intermediate_mb(self) -> float:
+        """Volume entering the first shuffle (the paper's
+        "intermediate data size" knob in Fig. 6)."""
+        volume = self.total_input_mb
+        for stage in self.stages:
+            if stage.shuffle:
+                return volume
+            volume *= stage.output_ratio
+        return 0.0

@@ -1,0 +1,20 @@
+"""GDA placement policies and the quantized geo-ML trainer.
+
+All policies consume a pluggable *decision* BW matrix — the WANify
+integration point: feed them static-independent, static-simultaneous,
+or predicted runtime BWs and compare outcomes (Table 4, Fig. 7).
+"""
+
+from repro.gda.systems.base import PlacementPolicy
+from repro.gda.systems.iridium import IridiumPolicy
+from repro.gda.systems.kimchi import KimchiPolicy
+from repro.gda.systems.tetrium import TetriumPolicy
+from repro.gda.systems.vanilla import LocalityPolicy
+
+__all__ = [
+    "IridiumPolicy",
+    "KimchiPolicy",
+    "LocalityPolicy",
+    "PlacementPolicy",
+    "TetriumPolicy",
+]

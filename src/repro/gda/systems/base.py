@@ -1,0 +1,59 @@
+"""Placement-policy interface.
+
+A policy answers two questions the engine asks:
+
+* should any input be migrated between DCs before the job starts?
+* what fraction of each (shuffle) stage's work goes to each DC?
+
+Both answers may use the *decision* BW matrix — whatever measurement or
+prediction the surrounding experiment supplies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.dag import StageSpec
+from repro.net.matrix import BandwidthMatrix
+
+
+class PlacementPolicy(ABC):
+    """Base class for GDA task/data placement systems."""
+
+    #: Human-readable system name used in results and plots.
+    name: str = "base"
+
+    def plan_migration(
+        self,
+        data_mb_by_dc: dict[str, float],
+        bw: Optional[BandwidthMatrix],
+        cluster: GeoCluster,
+        shuffle_mb: float = 0.0,
+    ) -> list[tuple[str, str, float]]:
+        """Input moves as (src, dst, MB); default: leave data in place.
+
+        ``shuffle_mb`` is the job's expected first-shuffle volume — a
+        system weighs migration cost against how much WAN traffic the
+        job will actually generate (moving 12 GB of input to speed a
+        2 GB shuffle is a losing trade).
+        """
+        return []
+
+    @abstractmethod
+    def place_stage(
+        self,
+        stage: StageSpec,
+        data_mb_by_dc: dict[str, float],
+        bw: Optional[BandwidthMatrix],
+        cluster: GeoCluster,
+    ) -> dict[str, float]:
+        """Per-DC work fractions for a shuffle stage (sum to 1)."""
+
+    @staticmethod
+    def slots_proportional(cluster: GeoCluster) -> dict[str, float]:
+        """Fractions proportional to compute slots (Spark's default)."""
+        slots = {dc: float(cluster.slots(dc)) for dc in cluster.keys}
+        total = sum(slots.values())
+        return {dc: s / total for dc, s in slots.items()}

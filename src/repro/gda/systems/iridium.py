@@ -1,0 +1,258 @@
+"""Iridium [33]: low-latency geo-distributed analytics.
+
+Pu et al.'s Iridium is the third WAN-aware system the paper groups with
+Tetrium and Kimchi ("recent GDA systems [20, 21, 30, 33] ... measure
+BWs statically and independently", §2.1).  Its two mechanisms:
+
+* **task placement** — choose reduce fractions that minimize the
+  *transfer time alone* (no compute term; Iridium assumes compute is
+  plentiful and WAN is the bottleneck).  We solve the same fractional
+  LP as Tetrium with the compute term dropped (``network_only=True``);
+* **data placement** — iteratively move input chunks *off* the site
+  whose uplink bottlenecks the anticipated shuffle, onto the
+  best-connected sites, until no move improves the bottleneck (or the
+  move budget runs out).  This is Iridium's greedy §4.2 heuristic,
+  bounded here by the same shuffle-benefit bar the other policies use
+  so a cheap shuffle never justifies an expensive migration.
+
+Like the published system, Iridium consumes whatever BW matrix it is
+given — static iPerf numbers in its original deployment, predicted
+runtime values when WANify fronts it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.dag import StageSpec
+from repro.gda.systems.base import PlacementPolicy
+from repro.gda.systems.tetrium import (
+    TRANSFER_OVERHEAD,
+    _fan_out_migration,
+    solve_placement_lp,
+)
+from repro.net.matrix import BandwidthMatrix
+
+#: Fraction of the bottleneck site's data moved per greedy iteration.
+CHUNK_FRACTION = 0.25
+
+#: Maximum greedy data-placement iterations per job.
+MAX_MOVES = 4
+
+#: Stop when the predicted bottleneck improves by less than this.
+MIN_RELATIVE_GAIN = 0.05
+
+#: Total migrated volume may not exceed this multiple of the job's
+#: first-shuffle volume (mirrors Tetrium/Kimchi's benefit bar).
+MIGRATION_BUDGET_RATIO = 0.65
+
+#: Iridium's per-DC share cap, as a multiple of the slots-proportional
+#: share.  Tighter than Tetrium's: the published system treats compute
+#: slots as a hard constraint while optimizing transfer time only, so
+#: nothing in its objective resists concentration — the cap is where
+#: its slot constraint bites.
+IRIDIUM_SPREAD_FACTOR = 1.1
+
+#: A move may not worsen the in-place compute barrier (max per-DC data
+#: per compute rate) by more than this factor.  Iridium's published
+#: acceptance test is *query speedup*, not transfer time alone — piling
+#: chunks onto an already data-heavy site slows every in-place stage at
+#: the barrier, which the transfer estimate cannot see.
+MAX_BARRIER_GROWTH = 1.05
+
+
+def _compute_barrier(
+    data_mb_by_dc: dict[str, float], cluster: GeoCluster
+) -> float:
+    """In-place compute barrier: the largest per-DC data volume per unit
+    of compute rate.  Every in-place stage's duration is proportional to
+    this (the engine runs stages with barrier semantics)."""
+    return max(
+        (
+            mb / (cluster.slots(dc) * cluster.speed(dc))
+            for dc, mb in data_mb_by_dc.items()
+            if mb > 0
+        ),
+        default=0.0,
+    )
+
+
+def bottleneck_transfer_s(
+    data_mb_by_dc: dict[str, float],
+    fractions: dict[str, float],
+    bw: BandwidthMatrix,
+) -> float:
+    """The slowest pairwise transfer of an anticipated shuffle (s).
+
+    Iridium's objective: with ``data`` at the sources and reduce
+    ``fractions`` at the destinations, each ordered pair moves
+    ``data_src × frac_dst`` and the stage's network time is the max.
+    """
+    worst = 0.0
+    for src, mb in data_mb_by_dc.items():
+        if mb <= 0:
+            continue
+        for dst, frac in fractions.items():
+            if src == dst or frac <= 0:
+                continue
+            rate_mb_s = max(bw.get(src, dst), 1.0) / 8.0
+            seconds = mb * frac * TRANSFER_OVERHEAD / rate_mb_s
+            worst = max(worst, seconds)
+    return worst
+
+
+class IridiumPolicy(PlacementPolicy):
+    """Network-only LP placement with greedy iterative data placement."""
+
+    name = "iridium"
+
+    def __init__(
+        self,
+        migrate_input: bool = True,
+        max_moves: int = MAX_MOVES,
+        chunk_fraction: float = CHUNK_FRACTION,
+    ) -> None:
+        if not 0.0 < chunk_fraction <= 1.0:
+            raise ValueError(
+                f"chunk_fraction must be in (0, 1]: {chunk_fraction}"
+            )
+        self.migrate_input = migrate_input
+        self.max_moves = max_moves
+        self.chunk_fraction = chunk_fraction
+
+    def plan_migration(
+        self,
+        data_mb_by_dc: dict[str, float],
+        bw: Optional[BandwidthMatrix],
+        cluster: GeoCluster,
+        shuffle_mb: float = 0.0,
+    ) -> list[tuple[str, str, float]]:
+        """Greedy chunk moves off the bottleneck-uplink site (§4.2 of
+        Iridium): keep moving while the anticipated shuffle bottleneck
+        improves and the migration budget lasts."""
+        if not self.migrate_input or bw is None:
+            return []
+        data = {
+            dc: float(mb) for dc, mb in data_mb_by_dc.items() if mb > 0
+        }
+        if len(data) < 2:
+            return []
+        budget = (
+            MIGRATION_BUDGET_RATIO * shuffle_mb
+            if shuffle_mb > 0
+            else float("inf")
+        )
+        moves: list[tuple[str, str, float]] = []
+        moved_total = 0.0
+        for _ in range(self.max_moves):
+            fractions = self._fractions(data, bw, cluster)
+            current = bottleneck_transfer_s(data, fractions, bw)
+            if current <= 0:
+                break
+            candidate = self._best_move(data, fractions, bw, cluster)
+            if candidate is None:
+                break
+            src, move_list, improved = candidate
+            if improved > current * (1.0 - MIN_RELATIVE_GAIN):
+                break
+            volume = sum(mb for _, _, mb in move_list)
+            if moved_total + volume > budget:
+                break
+            trial = dict(data)
+            for move_src, dst, mb in move_list:
+                trial[move_src] = trial.get(move_src, 0.0) - mb
+                trial[dst] = trial.get(dst, 0.0) + mb
+            # Query-speedup guard: a transfer win that inflates the
+            # in-place compute barrier is not a query win.
+            if (
+                _compute_barrier(trial, cluster)
+                > MAX_BARRIER_GROWTH * _compute_barrier(data, cluster)
+            ):
+                break
+            data.update(trial)
+            moves.extend(move_list)
+            moved_total += volume
+        return moves
+
+    def _fractions(
+        self,
+        data: dict[str, float],
+        bw: BandwidthMatrix,
+        cluster: GeoCluster,
+    ) -> dict[str, float]:
+        return solve_placement_lp(
+            data,
+            bw,
+            cluster,
+            cpu_s_per_mb=0.0,
+            network_only=True,
+            spread_factor=IRIDIUM_SPREAD_FACTOR,
+        )
+
+    def _best_move(
+        self,
+        data: dict[str, float],
+        fractions: dict[str, float],
+        bw: BandwidthMatrix,
+        cluster: GeoCluster,
+    ) -> Optional[tuple[str, list[tuple[str, str, float]], float]]:
+        """The chunk move that most improves the anticipated bottleneck.
+
+        Only the site on the current bottleneck path is a candidate
+        source — moving anyone else's data cannot relax the max.
+        """
+        source = self._bottleneck_site(data, fractions, bw)
+        if source is None:
+            return None
+        volume = data[source] * self.chunk_fraction
+        if volume <= 0:
+            return None
+        move_list = _fan_out_migration(source, volume, bw, cluster)
+        if not move_list:
+            return None
+        trial = dict(data)
+        for src, dst, mb in move_list:
+            trial[src] = trial.get(src, 0.0) - mb
+            trial[dst] = trial.get(dst, 0.0) + mb
+        new_fractions = self._fractions(trial, bw, cluster)
+        improved = bottleneck_transfer_s(trial, new_fractions, bw)
+        return source, move_list, improved
+
+    @staticmethod
+    def _bottleneck_site(
+        data: dict[str, float],
+        fractions: dict[str, float],
+        bw: BandwidthMatrix,
+    ) -> Optional[str]:
+        worst_site, worst_s = None, 0.0
+        for src, mb in data.items():
+            if mb <= 0:
+                continue
+            for dst, frac in fractions.items():
+                if src == dst or frac <= 0:
+                    continue
+                rate_mb_s = max(bw.get(src, dst), 1.0) / 8.0
+                seconds = mb * frac * TRANSFER_OVERHEAD / rate_mb_s
+                if seconds > worst_s:
+                    worst_site, worst_s = src, seconds
+        return worst_site
+
+    def place_stage(
+        self,
+        stage: StageSpec,
+        data_mb_by_dc: dict[str, float],
+        bw: Optional[BandwidthMatrix],
+        cluster: GeoCluster,
+    ) -> dict[str, float]:
+        """Network-only LP; slots-proportional without a BW matrix."""
+        if bw is None:
+            return self.slots_proportional(cluster)
+        return solve_placement_lp(
+            data_mb_by_dc,
+            bw,
+            cluster,
+            cpu_s_per_mb=stage.cpu_s_per_mb,
+            network_only=True,
+            spread_factor=IRIDIUM_SPREAD_FACTOR,
+        )

@@ -1,0 +1,99 @@
+"""Kimchi [30]: network-cost-aware geo-distributed placement.
+
+Kimchi optimizes the dollar cost of a query with latency awareness —
+inter-region transfer is billed per GB, so it prefers placements that
+move less paid traffic even at some latency expense.  We reuse the
+Tetrium LP with a positive network-cost weight in the objective, and a
+more conservative evacuation rule (migration itself is paid traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.dag import StageSpec
+from repro.gda.systems.base import PlacementPolicy
+from repro.gda.systems.tetrium import (
+    _fan_out_migration,
+    _mean_connectivity,
+    solve_placement_lp,
+)
+from repro.net.matrix import BandwidthMatrix
+
+#: Seconds of latency Kimchi will trade to save one transfer dollar.
+#: Low enough that the latency term still responds to BW estimates —
+#: Kimchi is cost-*aware*, not cost-only.
+DEFAULT_COST_WEIGHT = 300.0
+
+#: Same evacuation trigger as Tetrium — Kimchi's cost-awareness lives
+#: in its placement objective and its stricter shuffle-benefit bar, not
+#: in a different notion of "bottlenecked DC".
+EVACUATION_RATIO = 0.55
+
+
+class KimchiPolicy(PlacementPolicy):
+    """Cost-aware LP placement."""
+
+    name = "kimchi"
+
+    def __init__(
+        self,
+        cost_weight: float = DEFAULT_COST_WEIGHT,
+        migrate_input: bool = True,
+        evacuation_ratio: float = EVACUATION_RATIO,
+    ) -> None:
+        if cost_weight < 0:
+            raise ValueError(f"cost_weight must be ≥ 0: {cost_weight}")
+        self.cost_weight = cost_weight
+        self.migrate_input = migrate_input
+        self.evacuation_ratio = evacuation_ratio
+
+    def plan_migration(
+        self,
+        data_mb_by_dc: dict[str, float],
+        bw: Optional[BandwidthMatrix],
+        cluster: GeoCluster,
+        shuffle_mb: float = 0.0,
+    ) -> list[tuple[str, str, float]]:
+        """Evacuate only when a DC is drastically bottlenecked and the
+        job is shuffle-heavy enough to repay the paid migration."""
+        if not self.migrate_input or bw is None:
+            return []
+        scores = {
+            dc: _mean_connectivity(bw, dc)
+            for dc in cluster.keys
+            if data_mb_by_dc.get(dc, 0.0) > 0
+        }
+        if len(scores) < 2:
+            return []
+        median = float(np.median(list(scores.values())))
+        worst = min(scores, key=scores.get)
+        if scores[worst] >= self.evacuation_ratio * median:
+            return []
+        volume = data_mb_by_dc[worst] * 0.7
+        if shuffle_mb > 0 and volume > 0.55 * shuffle_mb:
+            # Kimchi is cost-aware: a stricter benefit bar than Tetrium.
+            return []
+        return _fan_out_migration(worst, volume, bw, cluster)
+
+    def place_stage(
+        self,
+        stage: StageSpec,
+        data_mb_by_dc: dict[str, float],
+        bw: Optional[BandwidthMatrix],
+        cluster: GeoCluster,
+    ) -> dict[str, float]:
+        """Cost-weighted LP placement."""
+        if bw is None:
+            return self.slots_proportional(cluster)
+        return solve_placement_lp(
+            data_mb_by_dc,
+            bw,
+            cluster,
+            stage.cpu_s_per_mb,
+            network_cost_weight=self.cost_weight,
+            price_per_gb=cluster.prices.network_per_gb,
+        )

@@ -1,0 +1,32 @@
+"""Vanilla Spark: locality-aware maps, slots-proportional reduces.
+
+The "No WAN-aware" baseline of §5.3.1: map tasks run where their HDFS
+blocks live (the engine's in-place semantics already give that), reduce
+tasks spread across executors proportionally to slots, and nothing is
+migrated — Spark was designed for a single DC and is WAN-oblivious.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.dag import StageSpec
+from repro.gda.systems.base import PlacementPolicy
+from repro.net.matrix import BandwidthMatrix
+
+
+class LocalityPolicy(PlacementPolicy):
+    """WAN-oblivious Spark scheduling."""
+
+    name = "vanilla-spark"
+
+    def place_stage(
+        self,
+        stage: StageSpec,
+        data_mb_by_dc: dict[str, float],
+        bw: Optional[BandwidthMatrix],
+        cluster: GeoCluster,
+    ) -> dict[str, float]:
+        """Reduce tasks land proportionally to executor slots."""
+        return self.slots_proportional(cluster)

@@ -1,0 +1,7 @@
+"""Workload definitions used throughout the evaluation (§5.1)."""
+
+from repro.gda.workloads.terasort import terasort_job
+from repro.gda.workloads.tpcds import TPCDS_QUERIES, tpcds_job
+from repro.gda.workloads.wordcount import wordcount_job
+
+__all__ = ["TPCDS_QUERIES", "terasort_job", "tpcds_job", "wordcount_job"]

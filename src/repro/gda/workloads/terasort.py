@@ -1,0 +1,37 @@
+"""TeraSort: the canonical shuffle-heavy benchmark (§5.3.1, Fig. 5).
+
+TeraSort's intermediate data equals its input — 100 GB in, 100 GB
+shuffled — which makes it the paper's stress test for parallel data
+transfer.  Compute intensities are calibrated so a 100 GB sort on the
+8 × t2.medium testbed lands in the paper's ~60–85 minute JCT band with
+a network phase large enough for WAN optimization to matter.
+"""
+
+from __future__ import annotations
+
+from repro.gda.engine.dag import JobSpec, StageSpec
+
+#: vCPU-seconds per MB for the map (partition/sample) phase.
+MAP_CPU_S_PER_MB = 0.10
+
+#: vCPU-seconds per MB for the sort/merge reduce phase.
+REDUCE_CPU_S_PER_MB = 0.12
+
+
+def terasort_job(
+    input_mb_by_dc: dict[str, float], name: str = "terasort"
+) -> JobSpec:
+    """Build a TeraSort job over the given input distribution."""
+    return JobSpec(
+        name=name,
+        stages=[
+            StageSpec("map", MAP_CPU_S_PER_MB, output_ratio=1.0),
+            StageSpec(
+                "sort-reduce",
+                REDUCE_CPU_S_PER_MB,
+                output_ratio=1.0,
+                shuffle=True,
+            ),
+        ],
+        input_mb_by_dc=dict(input_mb_by_dc),
+    )

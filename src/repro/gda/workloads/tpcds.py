@@ -1,0 +1,73 @@
+"""TPC-DS query skeletons for queries 82, 95, 11, and 78 (§5.2, §5.4).
+
+The paper classifies them as light-weight (82), average-weight (95, 11),
+and heavy-weight (78) [26, 30, 32].  Each skeleton is a scan followed by
+one or more shuffle stages; the per-stage compute intensities and
+selectivities are calibrated so relative stage weights match the
+classification: q82 shuffles ~2% of its input, q95/q11 shuffle
+15–25%, and q78 runs three shuffles totalling over half the input.
+
+These are *skeletons*, not SQL executions — what the experiments need is
+each query's network/compute profile, which is what drives every result
+in Tables 4 and Figs. 7–8.
+"""
+
+from __future__ import annotations
+
+from repro.gda.engine.dag import JobSpec, StageSpec
+
+#: Stage templates per query: (name, cpu_s_per_mb, output_ratio, shuffle).
+TPCDS_QUERIES: dict[int, list[tuple[str, float, float, bool]]] = {
+    # Light-weight: a selective scan with a small aggregation.
+    82: [
+        ("scan", 0.060, 0.020, False),
+        ("aggregate", 0.050, 0.200, True),
+    ],
+    # Average-weight: scan + join + aggregate.
+    95: [
+        ("scan", 0.070, 0.160, False),
+        ("join", 0.110, 0.350, True),
+        ("aggregate", 0.060, 0.100, True),
+    ],
+    # Average-weight, slightly heavier join chain.
+    11: [
+        ("scan", 0.080, 0.200, False),
+        ("join", 0.120, 0.400, True),
+        ("aggregate", 0.070, 0.120, True),
+    ],
+    # Heavy-weight: three shuffles over large fractions of the input.
+    78: [
+        ("scan", 0.090, 0.300, False),
+        ("join-1", 0.130, 0.550, True),
+        ("join-2", 0.110, 0.300, True),
+        ("aggregate", 0.060, 0.080, True),
+    ],
+}
+
+#: Classification used in §5.2.
+QUERY_WEIGHT_CLASS = {82: "light", 95: "average", 11: "average", 78: "heavy"}
+
+
+def tpcds_job(
+    query: int, input_mb_by_dc: dict[str, float]
+) -> JobSpec:
+    """Build the skeleton job for one supported TPC-DS query.
+
+    >>> job = tpcds_job(78, {"us-east-1": 1000.0})
+    >>> len(job.shuffle_stages())
+    3
+    """
+    try:
+        template = TPCDS_QUERIES[query]
+    except KeyError:
+        known = sorted(TPCDS_QUERIES)
+        raise KeyError(f"unsupported query {query}; known: {known}") from None
+    stages = [
+        StageSpec(name, cpu, ratio, shuffle)
+        for name, cpu, ratio, shuffle in template
+    ]
+    return JobSpec(
+        name=f"tpcds-q{query}",
+        stages=stages,
+        input_mb_by_dc=dict(input_mb_by_dc),
+    )

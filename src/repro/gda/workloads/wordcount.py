@@ -1,0 +1,48 @@
+"""WordCount with a controllable intermediate size (§5.3.2, Fig. 6).
+
+The paper controls shuffle volume by generating inputs with all-distinct
+words — the map output (and hence intermediate data) then scales with
+the number of distinct words rather than collapsing under combining.
+``intermediate_mb`` sets that volume directly; the engine's map stage
+emits ``intermediate_mb / input_mb`` per input MB.
+"""
+
+from __future__ import annotations
+
+from repro.gda.engine.dag import JobSpec, StageSpec
+
+#: Tokenize + hash per MB — WordCount maps are cheap.
+MAP_CPU_S_PER_MB = 0.06
+
+#: Count-aggregation per MB of intermediate data.
+REDUCE_CPU_S_PER_MB = 0.05
+
+#: Final counts are a small fraction of the intermediate volume.
+OUTPUT_RATIO = 0.05
+
+
+def wordcount_job(
+    input_mb_by_dc: dict[str, float],
+    intermediate_mb: float,
+    name: str = "wordcount",
+) -> JobSpec:
+    """Build a WordCount whose shuffle moves ``intermediate_mb`` total."""
+    total_input = sum(input_mb_by_dc.values())
+    if total_input <= 0:
+        raise ValueError("wordcount needs a non-empty input")
+    if intermediate_mb < 0:
+        raise ValueError(f"negative intermediate size: {intermediate_mb}")
+    map_ratio = intermediate_mb / total_input
+    return JobSpec(
+        name=name,
+        stages=[
+            StageSpec("tokenize", MAP_CPU_S_PER_MB, output_ratio=map_ratio),
+            StageSpec(
+                "count",
+                REDUCE_CPU_S_PER_MB,
+                output_ratio=OUTPUT_RATIO,
+                shuffle=True,
+            ),
+        ],
+        input_mb_by_dc=dict(input_mb_by_dc),
+    )

@@ -1,0 +1,80 @@
+"""Regression metrics.
+
+``training_accuracy`` matches how the paper quotes model quality: a
+percentage "derived from historical training metrics" (§5.1, 98.51%).
+We define it as ``100 × (1 − relative absolute error)``, clipped to
+[0, 100] — a standard accuracy-style readout for regression — and also
+expose ``fraction_within`` for the >100 Mbps significance tests used in
+Figs. 9 and 11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("empty arrays")
+    return y_true, y_pred
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.abs(y_true - y_pred).mean())
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.sqrt(((y_true - y_pred) ** 2).mean()))
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute percentage error (ignores zero targets)."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    mask = y_true != 0
+    if not mask.any():
+        raise ValueError("all targets are zero; MAPE undefined")
+    return float(
+        (np.abs(y_true[mask] - y_pred[mask]) / np.abs(y_true[mask])).mean()
+    )
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    ss_res = float(((y_true - y_pred) ** 2).sum())
+    ss_tot = float(((y_true - y_true.mean()) ** 2).sum())
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fraction_within(
+    y_true: np.ndarray, y_pred: np.ndarray, threshold: float
+) -> float:
+    """Fraction of predictions within ``threshold`` of the target.
+
+    With ``threshold=100`` (Mbps) this is the complement of the paper's
+    "significant difference" rate.
+    """
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float((np.abs(y_true - y_pred) <= threshold).mean())
+
+
+def training_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Accuracy-style percentage: ``100 × (1 − Σ|err| / Σ|y|)``."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    denom = float(np.abs(y_true).sum())
+    if denom == 0:
+        raise ValueError("targets sum to zero; accuracy undefined")
+    rel_err = float(np.abs(y_true - y_pred).sum()) / denom
+    return float(np.clip(100.0 * (1.0 - rel_err), 0.0, 100.0))

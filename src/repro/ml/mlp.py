@@ -1,0 +1,150 @@
+"""A small neural-network regressor (the paper's rejected alternative).
+
+§3.1: "we initially tried employing Convolutional Neural Network ... but
+that did not yield promising results, i.e., it resulted in ~85% training
+accuracy with a higher number of pair-wise BW differences against the
+test dataset.  This is because ... a deep learning approach requires
+large training data to attain the desired accuracy."
+
+This module provides the comparison point: a from-scratch multilayer
+perceptron (dense layers are the data-appropriate analogue of their CNN
+for 6-feature tabular rows) trained by mini-batch SGD with momentum.
+On the paper-scale training sets (hundreds of rows) it underfits
+relative to the Random Forest — exactly the effect the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(0.0, x)
+
+
+@dataclass
+class MLPRegressor:
+    """Fully-connected regressor: input → hidden layers (ReLU) → scalar.
+
+    Inputs and targets are standardized internally; training uses
+    mini-batch SGD with momentum and L2 weight decay.
+    """
+
+    hidden: tuple[int, ...] = (32, 16)
+    learning_rate: float = 1e-2
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    epochs: int = 200
+    batch_size: int = 32
+    random_state: int = 0
+    _weights: list[np.ndarray] = field(default_factory=list, repr=False)
+    _biases: list[np.ndarray] = field(default_factory=list, repr=False)
+    _x_mean: np.ndarray = field(default=None, repr=False)
+    _x_std: np.ndarray = field(default=None, repr=False)
+    _y_mean: float = field(default=0.0, repr=False)
+    _y_std: float = field(default=1.0, repr=False)
+
+    def _init_params(self, n_features: int, rng: np.random.Generator) -> None:
+        sizes = [n_features, *self.hidden, 1]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self._weights.append(
+                rng.normal(0.0, scale, size=(fan_in, fan_out))
+            )
+            self._biases.append(np.zeros(fan_out))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        """Train on ``X`` (n×d) and targets ``y`` (n,)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+
+        self._x_mean = X.mean(axis=0)
+        self._x_std = X.std(axis=0)
+        self._x_std[self._x_std == 0] = 1.0
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        Xn = (X - self._x_mean) / self._x_std
+        yn = (y - self._y_mean) / self._y_std
+
+        rng = np.random.default_rng(self.random_state)
+        self._init_params(X.shape[1], rng)
+        velocity_w = [np.zeros_like(w) for w in self._weights]
+        velocity_b = [np.zeros_like(b) for b in self._biases]
+
+        n = len(Xn)
+        batch = min(self.batch_size, n)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                xb, yb = Xn[idx], yn[idx]
+                grads_w, grads_b = self._backward(xb, yb)
+                for layer in range(len(self._weights)):
+                    grads_w[layer] += self.weight_decay * self._weights[layer]
+                    velocity_w[layer] = (
+                        self.momentum * velocity_w[layer]
+                        - self.learning_rate * grads_w[layer]
+                    )
+                    velocity_b[layer] = (
+                        self.momentum * velocity_b[layer]
+                        - self.learning_rate * grads_b[layer]
+                    )
+                    self._weights[layer] += velocity_w[layer]
+                    self._biases[layer] += velocity_b[layer]
+        return self
+
+    def _forward(self, X: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        activations = [X]
+        out = X
+        for layer in range(len(self._weights) - 1):
+            out = _relu(out @ self._weights[layer] + self._biases[layer])
+            activations.append(out)
+        out = out @ self._weights[-1] + self._biases[-1]
+        return activations, out.ravel()
+
+    def _backward(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        activations, preds = self._forward(X)
+        n = len(X)
+        grads_w = [None] * len(self._weights)
+        grads_b = [None] * len(self._biases)
+        # MSE loss: dL/dpred = 2 (pred − y) / n.
+        delta = (2.0 * (preds - y) / n)[:, None]
+        for layer in reversed(range(len(self._weights))):
+            grads_w[layer] = activations[layer].T @ delta
+            grads_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = delta @ self._weights[layer].T
+                delta = delta * (activations[layer] > 0)
+        return grads_w, grads_b
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for ``X`` (n×d)."""
+        if not self._weights:
+            raise RuntimeError("MLP is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self._x_mean.shape[0]:
+            raise ValueError(
+                f"X must have shape (n, {self._x_mean.shape[0]}), "
+                f"got {X.shape}"
+            )
+        Xn = (X - self._x_mean) / self._x_std
+        _, preds = self._forward(Xn)
+        return preds * self._y_std + self._y_mean
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R²."""
+        from repro.ml.metrics import r2_score
+
+        return r2_score(np.asarray(y, dtype=float), self.predict(X))

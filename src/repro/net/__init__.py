@@ -1,0 +1,43 @@
+"""WAN substrate: topology, contention model, simulator, measurement.
+
+This package is the stand-in for the paper's AWS testbed.  It models the
+four phenomena WANify exploits:
+
+1. single-connection TCP throughput falls sharply with RTT (Fig. 1:
+   1700 Mbps US East–US West vs 121 Mbps US East–AP SE),
+2. under contention, bandwidth sharing is biased toward short-RTT flows
+   (nearby DCs "occupy most of the available network", §2.2),
+3. parallel connections raise a pair's throughput roughly linearly up to
+   a congestion knee (9 connections lift the weakest link to ~1 Gbps;
+   no gain beyond 8 on the strongest link),
+4. link bandwidth fluctuates over time (σ ≈ 184 Mbps in the paper's
+   collected datasets).
+"""
+
+from repro.net.matrix import BandwidthMatrix
+from repro.net.topology import DataCenter, Topology
+from repro.net.simulator import NetworkSimulator, Transfer
+from repro.net.measurement import (
+    MeasurementReport,
+    measure_independent,
+    measure_simultaneous,
+    snapshot,
+    stable_runtime,
+)
+from repro.net.monitor import WanMonitor
+from repro.net.traffic_control import TrafficController
+
+__all__ = [
+    "BandwidthMatrix",
+    "DataCenter",
+    "MeasurementReport",
+    "NetworkSimulator",
+    "Topology",
+    "TrafficController",
+    "Transfer",
+    "WanMonitor",
+    "measure_independent",
+    "measure_simultaneous",
+    "snapshot",
+    "stable_runtime",
+]

@@ -1,0 +1,117 @@
+"""Seeded bandwidth-fluctuation processes.
+
+The paper leans on WAN traffic measurements [38] showing per-link
+bandwidth fluctuates but is predictable on the scale of minutes, and
+reports an overall standard deviation of ~184 Mbps across its collected
+runtime BWs (§5.1).  We model each directed link's capacity as
+
+    cap(t) = base × (1 + diurnal(t) + noise(t))
+
+* ``diurnal`` — a phase-shifted sinusoid per link (daily cycle),
+* ``noise`` — a piecewise-smooth mean-reverting term: per-link Gaussian
+  values drawn on a coarse time grid (deterministically from the seed,
+  link, and grid index), linearly interpolated between grid points.
+
+The grid construction makes ``factor(i, j, t)`` a pure function of
+``(seed, i, j, t)``: no sequential state, so measurement replays and
+independent simulator instances see the same network weather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Default coarse grid for the noise term (seconds).  WAN traffic is
+#: "predictable on the scale of minutes" ([38], cited in §5.8.2), so
+#: link weather holds for ~5 minutes — long enough that a snapshot taken
+#: at query start stays informative through the query, short enough
+#: that a static matrix measured hours earlier is stale.
+DEFAULT_NOISE_PERIOD_S = 300.0
+
+#: Day length for the diurnal term.
+DAY_S = 24 * 3600.0
+
+
+def _link_hash(seed: int, i: int, j: int, bucket: int) -> np.random.Generator:
+    """A generator deterministically keyed by (seed, link, time bucket)."""
+    key = np.uint64(seed) * np.uint64(1_000_003)
+    key += np.uint64(i * 131 + j) * np.uint64(2_147_483_647)
+    key += np.uint64(bucket & 0xFFFFFFFF)
+    return np.random.default_rng(int(key))
+
+
+@dataclass(frozen=True)
+class FluctuationModel:
+    """Multiplicative time-varying factor per directed link.
+
+    ``sigma`` is the relative standard deviation of the noise term and
+    ``diurnal_amplitude`` that of the daily cycle; both default to
+    values that put the absolute SD of a mid-range (~1 Gbps) link near
+    the paper's ~184 Mbps.
+    """
+
+    seed: int = 7
+    sigma: float = 0.13
+    diurnal_amplitude: float = 0.08
+    noise_period_s: float = DEFAULT_NOISE_PERIOD_S
+    floor: float = 0.35
+    ceiling: float = 1.65
+
+    def _noise_at_bucket(self, i: int, j: int, bucket: int) -> float:
+        rng = _link_hash(self.seed, i, j, bucket)
+        return float(rng.normal(0.0, self.sigma))
+
+    def _phase(self, i: int, j: int) -> float:
+        rng = _link_hash(self.seed, i, j, -1)
+        return float(rng.uniform(0.0, 2.0 * np.pi))
+
+    def factor(self, i: int, j: int, t: float) -> float:
+        """Multiplicative capacity factor for link ``i → j`` at time ``t``.
+
+        Deterministic in ``(seed, i, j, t)``; mean ≈ 1.
+
+        >>> m = FluctuationModel(seed=1)
+        >>> m.factor(0, 1, 10.0) == m.factor(0, 1, 10.0)
+        True
+        """
+        if i == j:
+            return 1.0
+        bucket = int(np.floor(t / self.noise_period_s))
+        frac = t / self.noise_period_s - bucket
+        n0 = self._noise_at_bucket(i, j, bucket)
+        n1 = self._noise_at_bucket(i, j, bucket + 1)
+        noise = n0 * (1.0 - frac) + n1 * frac
+        diurnal = self.diurnal_amplitude * np.sin(
+            2.0 * np.pi * t / DAY_S + self._phase(i, j)
+        )
+        return float(np.clip(1.0 + noise + diurnal, self.floor, self.ceiling))
+
+    def snapshot_jitter(self, i: int, j: int, t: float, window_s: float) -> float:
+        """Extra multiplicative jitter for very short probes.
+
+        A 1-second snapshot sees transient queueing the 20-second stable
+        average does not; jitter shrinks with the window so snapshots
+        stay positively correlated with stable BW (§2.2's Pearson
+        observation).
+        """
+        if window_s >= 20.0:
+            return 1.0
+        scale = self.sigma * 0.6 * (1.0 - window_s / 20.0)
+        rng = _link_hash(self.seed ^ 0x5EED, i, j, int(t * 1000) % (1 << 31))
+        return float(np.clip(1.0 + rng.normal(0.0, scale), 0.5, 1.5))
+
+
+@dataclass(frozen=True)
+class StaticModel:
+    """A no-fluctuation stand-in with the same interface (for tests and
+    for isolating optimizer behaviour from network weather)."""
+
+    def factor(self, i: int, j: int, t: float) -> float:
+        """Always 1."""
+        return 1.0
+
+    def snapshot_jitter(self, i: int, j: int, t: float, window_s: float) -> float:
+        """Always 1."""
+        return 1.0

@@ -1,0 +1,133 @@
+"""Pair-wise bandwidth (and connection-count) matrices.
+
+Both WANify outputs — predicted runtime BWs and optimal connection
+counts — "are each structured as a matrix where each cell contains
+pair-wise BW and the number of connections" (§2.3).  This module gives
+that structure a small, typed API shared by the whole code base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+@dataclass
+class BandwidthMatrix:
+    """A labelled square matrix of per-DC-pair values (Mbps by default).
+
+    ``values[i, j]`` is the value from DC ``keys[i]`` to DC ``keys[j]``.
+    The diagonal is intra-DC and excluded from min/max statistics.
+    """
+
+    keys: tuple[str, ...]
+    values: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        self.keys = tuple(self.keys)
+        self.values = np.asarray(self.values, dtype=float)
+        n = len(self.keys)
+        if self.values.shape != (n, n):
+            raise ValueError(
+                f"matrix shape {self.values.shape} does not match "
+                f"{n} keys"
+            )
+
+    @classmethod
+    def zeros(cls, keys: Iterable[str]) -> "BandwidthMatrix":
+        """A zero matrix over ``keys``."""
+        keys = tuple(keys)
+        return cls(keys, np.zeros((len(keys), len(keys))))
+
+    @classmethod
+    def full(cls, keys: Iterable[str], value: float) -> "BandwidthMatrix":
+        """A constant matrix over ``keys``."""
+        keys = tuple(keys)
+        return cls(keys, np.full((len(keys), len(keys)), float(value)))
+
+    @property
+    def n(self) -> int:
+        """Number of DCs."""
+        return len(self.keys)
+
+    def index(self, key: str) -> int:
+        """Row/column index of ``key``."""
+        try:
+            return self.keys.index(key)
+        except ValueError:
+            raise KeyError(f"unknown DC {key!r}; known: {self.keys}") from None
+
+    def get(self, src: str, dst: str) -> float:
+        """Value from ``src`` to ``dst``."""
+        return float(self.values[self.index(src), self.index(dst)])
+
+    def set(self, src: str, dst: str, value: float) -> None:
+        """Set the value from ``src`` to ``dst``."""
+        self.values[self.index(src), self.index(dst)] = value
+
+    def off_diagonal(self) -> np.ndarray:
+        """Flat array of all inter-DC values."""
+        mask = ~np.eye(self.n, dtype=bool)
+        return self.values[mask]
+
+    def min_bw(self) -> float:
+        """The weakest inter-DC value — the paper's "minimum BW of the
+        cluster", the quantity WANify tries to raise."""
+        return float(self.off_diagonal().min())
+
+    def max_bw(self) -> float:
+        """The strongest inter-DC value."""
+        return float(self.off_diagonal().max())
+
+    def mean_bw(self) -> float:
+        """Mean inter-DC value."""
+        return float(self.off_diagonal().mean())
+
+    def pairs(self) -> Iterator[tuple[str, str]]:
+        """All ordered inter-DC pairs."""
+        for i, a in enumerate(self.keys):
+            for j, b in enumerate(self.keys):
+                if i != j:
+                    yield a, b
+
+    def copy(self) -> "BandwidthMatrix":
+        """Deep copy."""
+        return BandwidthMatrix(self.keys, self.values.copy())
+
+    def subset(self, keys: Iterable[str]) -> "BandwidthMatrix":
+        """Restrict to the given DC keys (order preserved as given)."""
+        keys = tuple(keys)
+        idx = [self.index(k) for k in keys]
+        return BandwidthMatrix(keys, self.values[np.ix_(idx, idx)])
+
+    def significant_differences(
+        self, other: "BandwidthMatrix", threshold: float = 100.0
+    ) -> list[tuple[str, str, float]]:
+        """Inter-DC pairs whose |self − other| exceeds ``threshold``.
+
+        The paper treats >100 Mbps as significant throughout (Table 1,
+        Figs. 9 and 11), citing [13, 24].
+        """
+        if other.keys != self.keys:
+            other = other.subset(self.keys)
+        out = []
+        for a, b in self.pairs():
+            delta = abs(self.get(a, b) - other.get(a, b))
+            if delta > threshold:
+                out.append((a, b, delta))
+        return out
+
+    def to_table(self, fmt: str = "{:8.0f}") -> str:
+        """Human-readable table (used by examples and EXPERIMENTS.md)."""
+        width = max(len(k) for k in self.keys) + 2
+        header = " " * width + "".join(f"{k:>{width}}" for k in self.keys)
+        rows = [header]
+        for i, a in enumerate(self.keys):
+            cells = "".join(
+                f"{fmt.format(self.values[i, j]):>{width}}"
+                for j in range(self.n)
+            )
+            rows.append(f"{a:<{width}}" + cells)
+        return "\n".join(rows)

@@ -1,0 +1,85 @@
+"""ifTop-like per-VM runtime bandwidth monitor.
+
+Each WANify local agent runs "lightweight node-level runtime monitoring
+(e.g., ifTop)" (§3.2.2).  :class:`WanMonitor` samples a DC's outgoing
+rates on a fixed interval and keeps a short history, from which agents
+read the latest per-destination bandwidth and the experiment harness
+computes standard deviations (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.simulator import NetworkSimulator
+from repro.sim.kernel import Process
+
+
+@dataclass
+class MonitorSample:
+    """One sampling instant: time plus rate per destination DC."""
+
+    time: float
+    rates_mbps: dict[str, float] = field(default_factory=dict)
+
+
+class WanMonitor:
+    """Samples outgoing rates of one DC on a fixed interval.
+
+    The monitor also accumulates per-destination transferred volume
+    between reads, which the local optimizer uses for its "< 1 MB —
+    skip" rule (§3.2.2).
+    """
+
+    def __init__(
+        self,
+        network: NetworkSimulator,
+        dc: str,
+        interval_s: float = 5.0,
+        history: int = 512,
+    ) -> None:
+        self.network = network
+        self.dc = dc
+        self.interval_s = interval_s
+        self.history_limit = history
+        self.samples: list[MonitorSample] = []
+        self._volume_anchor: dict[str, float] = {}
+        self._process = Process(
+            network.sim, interval_s, self._sample, start_delay=interval_s
+        )
+
+    def _sample(self, now: float) -> None:
+        rates = {
+            dst: self.network.current_rate(self.dc, dst)
+            for dst in self.network.topology.keys
+            if dst != self.dc
+        }
+        self.samples.append(MonitorSample(now, rates))
+        if len(self.samples) > self.history_limit:
+            del self.samples[: len(self.samples) - self.history_limit]
+
+    def latest_rate(self, dst: str) -> float:
+        """Most recently sampled rate toward ``dst`` (Mbps), 0 if none."""
+        if not self.samples:
+            return 0.0
+        return self.samples[-1].rates_mbps.get(dst, 0.0)
+
+    def latest(self) -> dict[str, float]:
+        """Most recent full sample (empty dict before the first tick)."""
+        return dict(self.samples[-1].rates_mbps) if self.samples else {}
+
+    def window_volume_mb(self, dst: str) -> float:
+        """Megabytes sent to ``dst`` since the last call for that pair.
+
+        Feeds the §3.2.2 rule that pairs moving < 1 MB skip AIMD mode
+        toggles.
+        """
+        stats = self.network.pair_statistics().get((self.dc, dst))
+        total_mb = (stats.mbits / 8.0) if stats else 0.0
+        anchor = self._volume_anchor.get(dst, 0.0)
+        self._volume_anchor[dst] = total_mb
+        return max(0.0, total_mb - anchor)
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._process.stop()

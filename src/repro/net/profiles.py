@@ -1,0 +1,132 @@
+"""Network profiles: VPC peering, public Internet, edge-cloud.
+
+The paper's testbed connects DCs with VPC peering "as it provides better
+performance than the public Internet" (§5.1, citing Skyplane [23]), and
+§2.1 says WANify must "handle diverse private and public networks,
+including edge-cloud and VPC".  A profile bundles the path-level TCP
+constants (:class:`~repro.net.tcp.TcpModel`) with the weather-noise
+scaling that distinguishes those environments:
+
+=================  ====================================================
+profile            characteristics
+=================  ====================================================
+``vpc-peering``    the calibrated default — provider backbone, low
+                   loss, the Fig. 1 bandwidth numbers
+``public-internet`` transit routes: longer paths, ~3× loss, lower
+                   single-connection rates, noisier weather
+``edge-cloud``     last-mile constrained: high base RTT, modest
+                   single-connection ceiling, the noisiest weather
+=================  ====================================================
+
+Profiles change *where the bottlenecks are*, not what WANify does about
+them — the same prediction/optimization pipeline runs on any profile
+(exercised in ``tests/net/test_profiles.py`` and the profile ablation
+bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.dynamics import FluctuationModel
+from repro.net.tcp import TcpModel
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """One WAN environment: TCP path constants plus weather scaling.
+
+    ``sigma_scale`` multiplies the baseline fluctuation sigma — transit
+    and last-mile paths see far more cross-traffic variance than a
+    provider backbone.
+    """
+
+    key: str
+    description: str
+    tcp: TcpModel
+    sigma_scale: float = 1.0
+
+    def fluctuation(
+        self,
+        seed: int = 7,
+        base_sigma: float = 0.13,
+        diurnal_amplitude: float = 0.08,
+    ) -> FluctuationModel:
+        """A weather model with this profile's noise level.
+
+        >>> PUBLIC_INTERNET.fluctuation(seed=1).sigma > VPC_PEERING.fluctuation(seed=1).sigma
+        True
+        """
+        return FluctuationModel(
+            seed=seed,
+            sigma=base_sigma * self.sigma_scale,
+            diurnal_amplitude=diurnal_amplitude * self.sigma_scale,
+        )
+
+
+#: The calibrated default (the paper's AWS VPC-peering testbed).
+VPC_PEERING = NetworkProfile(
+    key="vpc-peering",
+    description="Cloud-provider backbone with VPC peering (the paper's "
+    "testbed; Fig. 1 calibration).",
+    tcp=TcpModel(),
+)
+
+#: Transit-routed public Internet: Skyplane [23] and the paper's §5.1
+#: both note it underperforms peering.  Longer effective routes, ~3×
+#: loss (halving the Mathis rate at equal RTT), noisier weather.
+PUBLIC_INTERNET = NetworkProfile(
+    key="public-internet",
+    description="Transit-routed public Internet paths between clouds.",
+    tcp=TcpModel(
+        k_mbps=4.20e6 * 0.55,
+        alpha=1.935,
+        max_single_mbps=3000.0,
+        rtt_base_ms=4.0,
+        route_stretch=1.7,
+        loss_scale=3.0,
+    ),
+    sigma_scale=1.8,
+)
+
+#: Edge-cloud: DCs behind metro/last-mile links.  High fixed RTT, a
+#: modest per-connection ceiling, and the noisiest weather — the regime
+#: where parallel connections help most but congest fastest.
+EDGE_CLOUD = NetworkProfile(
+    key="edge-cloud",
+    description="Edge sites reaching cloud regions over metro/last-mile "
+    "links.",
+    tcp=TcpModel(
+        k_mbps=4.20e6 * 0.35,
+        alpha=1.935,
+        max_single_mbps=1000.0,
+        rtt_base_ms=8.0,
+        route_stretch=1.6,
+        loss_scale=4.0,
+    ),
+    sigma_scale=2.5,
+)
+
+_PROFILES = {
+    p.key: p for p in (VPC_PEERING, PUBLIC_INTERNET, EDGE_CLOUD)
+}
+
+
+def network_profile(key: str) -> NetworkProfile:
+    """Look up a profile by key.
+
+    >>> network_profile("vpc-peering") is VPC_PEERING
+    True
+    """
+    try:
+        return _PROFILES[key]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILES))
+        raise KeyError(
+            f"unknown network profile {key!r}; known: {known}"
+        ) from None
+
+
+def all_profiles() -> tuple[NetworkProfile, ...]:
+    """All built-in profiles, VPC first."""
+    return (VPC_PEERING, PUBLIC_INTERNET, EDGE_CLOUD)

@@ -1,0 +1,130 @@
+"""Weighted max-min bandwidth allocation (progressive filling).
+
+Given a set of aggregate pair-flows — one per active (src DC, dst DC)
+pair — each with a contention *weight* (``k_eff / RTT``, TCP's RTT bias)
+and a *rate cap* (the aggregate TCP ceiling for its connection count,
+path cap, and any traffic-control limit), allocate the DC egress and
+ingress capacities by weighted progressive filling:
+
+* raise a global water level λ; each unfrozen flow's rate is
+  ``weight × λ``;
+* a flow freezes when it hits its rate cap;
+* when a resource (an egress or ingress NIC) saturates, every unfrozen
+  flow through it freezes at its current rate.
+
+The result is the classic weighted max-min allocation: feasible, Pareto
+efficient, and biased toward short-RTT (heavy-weight) flows — which is
+precisely why uniform parallelism fails to lift the weak links in
+Fig. 2(b) while heterogeneous connection counts succeed in Fig. 2(c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_EPS = 1e-9
+
+
+@dataclass
+class PairFlow:
+    """An aggregate flow between a DC pair.
+
+    ``src``/``dst`` are topology indices; ``weight`` is the contention
+    weight; ``cap`` the flow's own ceiling in Mbps.
+    """
+
+    src: int
+    dst: int
+    weight: float
+    cap: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"flow weight must be positive: {self.weight}")
+        if self.cap < 0:
+            raise ValueError(f"negative cap: {self.cap}")
+
+
+def allocate(
+    flows: list[PairFlow],
+    egress_caps: list[float],
+    ingress_caps: list[float],
+) -> list[float]:
+    """Allocate rates (Mbps) to ``flows``; returns rates in input order.
+
+    >>> flows = [PairFlow(0, 1, weight=1.0, cap=100.0)]
+    >>> allocate(flows, [50.0, 50.0], [50.0, 50.0])
+    [50.0]
+    """
+    n_flows = len(flows)
+    if n_flows == 0:
+        return []
+    rates = [0.0] * n_flows
+    frozen = [False] * n_flows
+    remaining_egress = list(egress_caps)
+    remaining_ingress = list(ingress_caps)
+
+    # Flows with zero cap are frozen immediately.
+    for idx, flow in enumerate(flows):
+        if flow.cap <= _EPS:
+            frozen[idx] = True
+
+    while True:
+        active = [i for i in range(n_flows) if not frozen[i]]
+        if not active:
+            break
+
+        # Aggregate unfrozen weight per resource.
+        egress_weight: dict[int, float] = {}
+        ingress_weight: dict[int, float] = {}
+        for i in active:
+            flow = flows[i]
+            egress_weight[flow.src] = (
+                egress_weight.get(flow.src, 0.0) + flow.weight
+            )
+            ingress_weight[flow.dst] = (
+                ingress_weight.get(flow.dst, 0.0) + flow.weight
+            )
+
+        # Largest permissible water-level increment.
+        delta = float("inf")
+        for i in active:
+            flow = flows[i]
+            delta = min(delta, (flow.cap - rates[i]) / flow.weight)
+        for src, weight in egress_weight.items():
+            delta = min(delta, remaining_egress[src] / weight)
+        for dst, weight in ingress_weight.items():
+            delta = min(delta, remaining_ingress[dst] / weight)
+
+        if delta == float("inf"):
+            break
+        delta = max(delta, 0.0)
+
+        # Advance the water level.
+        for i in active:
+            flow = flows[i]
+            gain = flow.weight * delta
+            rates[i] += gain
+            remaining_egress[flow.src] -= gain
+            remaining_ingress[flow.dst] -= gain
+
+        # Freeze flows at their caps and flows through saturated resources.
+        progressed = False
+        for i in active:
+            flow = flows[i]
+            if rates[i] >= flow.cap - _EPS:
+                frozen[i] = True
+                progressed = True
+        for i in [i for i in range(n_flows) if not frozen[i]]:
+            flow = flows[i]
+            if (
+                remaining_egress[flow.src] <= _EPS
+                or remaining_ingress[flow.dst] <= _EPS
+            ):
+                frozen[i] = True
+                progressed = True
+        if not progressed:
+            # Numerical guard: nothing froze despite a finite delta.
+            break
+
+    return [max(0.0, min(r, flows[i].cap)) for i, r in enumerate(rates)]

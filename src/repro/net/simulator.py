@@ -1,0 +1,436 @@
+"""Flow-level WAN simulator.
+
+Transfers between DC pairs are *fluid flows*: whenever the set of active
+transfers, the connection plan, a traffic-control limit, or the network
+weather changes, the simulator re-solves the weighted max-min allocation
+(:mod:`repro.net.sharing`) and re-schedules the next completion event.
+This is the standard flow-level abstraction for WAN studies — accurate
+at the timescales that matter here (seconds), and fast enough to run
+hundreds of geo-analytics queries on a laptop.
+
+Model summary (see DESIGN.md §5):
+
+* each ordered DC pair carries one aggregate flow whose *weight* is
+  ``parallel_efficiency(k) / RTT`` — k parallel connections compete like
+  k TCP streams with the pair's RTT bias;
+* the aggregate flow's *cap* is ``per_connection_mbps(RTT) ×
+  parallel_efficiency(k)``, times the link's time-varying weather
+  factor, and clipped by any traffic-control limit;
+* DC egress and ingress NIC capacities are the shared resources;
+* transfers sharing a pair split the pair's rate equally (the
+  connection pool is multiplexed);
+* intra-DC transfers ride the LAN at a fixed high rate, uncontended
+  (§2.1: a single connection fully utilizes intra-DC bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.net import tcp
+from repro.net.dynamics import FluctuationModel, StaticModel
+from repro.net.matrix import BandwidthMatrix
+from repro.net.sharing import PairFlow, allocate
+from repro.net.topology import Topology
+from repro.net.traffic_control import TrafficController
+from repro.sim.kernel import Event, Simulator
+
+#: Intra-DC (LAN) rate per transfer, Mbps.  High enough that it never
+#: bottlenecks a geo-analytics stage.
+LAN_MBPS = 8000.0
+
+#: How often the weather factors are refreshed while traffic is active.
+WEATHER_REFRESH_S = 5.0
+
+#: Congestion RTT bias: when a VM's egress demand exceeds its capacity,
+#: long-RTT flows lose share super-proportionally (slow loss recovery,
+#: buffer pressure).  This is the §2.2 "race condition and network
+#: contention" that makes uniform parallelism useless for distant pairs
+#: and is precisely what WANify's throttling neutralizes — capping the
+#: BW-rich pairs removes the overload, restoring the weak flows' share.
+CONGESTION_RTT_BIAS = 0.3
+
+#: RTT normalization for the congestion bias (ms).
+_RTT_NORM_MS = 100.0
+
+_EPS = 1e-9
+
+
+@dataclass
+class Transfer:
+    """One data transfer between DCs (or within one DC).
+
+    ``size_mbits`` is the payload in megabits.  ``rate_mbps`` is the
+    instantaneous fluid rate, updated by the simulator.
+    """
+
+    src: str
+    dst: str
+    size_mbits: float
+    on_complete: Optional[Callable[["Transfer"], None]] = None
+    tag: str = ""
+    start_time: float = 0.0
+    finish_time: Optional[float] = None
+    transferred_mbits: float = 0.0
+    rate_mbps: float = 0.0
+    cancelled: bool = False
+
+    @property
+    def remaining_mbits(self) -> float:
+        """Payload still to deliver."""
+        return max(0.0, self.size_mbits - self.transferred_mbits)
+
+    @property
+    def done(self) -> bool:
+        """True when fully delivered or cancelled."""
+        return self.cancelled or self.remaining_mbits <= _EPS
+
+
+@dataclass
+class PairStats:
+    """Accumulated statistics for one ordered DC pair."""
+
+    mbits: float = 0.0
+    active_seconds: float = 0.0
+    min_rate_mbps: float = float("inf")
+
+    @property
+    def avg_rate_mbps(self) -> float:
+        """Average achieved rate while the pair was active."""
+        if self.active_seconds <= 0:
+            return 0.0
+        return self.mbits / self.active_seconds
+
+
+class NetworkSimulator:
+    """The WAN: topology + connection plan + weather + active transfers."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        sim: Optional[Simulator] = None,
+        fluctuation: Optional[FluctuationModel | StaticModel] = None,
+        knee: int = tcp.DEFAULT_KNEE,
+        time_offset: float = 0.0,
+    ) -> None:
+        self.topology = topology
+        self.sim = sim or Simulator()
+        self.fluctuation = fluctuation if fluctuation is not None else StaticModel()
+        self.knee = knee
+        #: Offset added to simulator time when evaluating network
+        #: weather — lets measurement replays probe "the same network at
+        #: a different hour" without restarting the clock.
+        self.time_offset = time_offset
+        self.tc = TrafficController()
+        self.tc.bind(self._reallocate)
+        self._connections = BandwidthMatrix.full(topology.keys, 1.0)
+        self._active: dict[tuple[str, str], list[Transfer]] = {}
+        self._lan_active: list[Transfer] = []
+        self._stats: dict[tuple[str, str], PairStats] = {}
+        self._last_progress_time = self.sim.now
+        self._completion_event: Optional[Event] = None
+        self._weather_event: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # Connection plan
+    # ------------------------------------------------------------------
+
+    def set_connections(self, src: str, dst: str, count: int) -> None:
+        """Set the parallel-connection count for one ordered pair."""
+        if count < 1:
+            raise ValueError(f"connection count must be ≥ 1: {count}")
+        self._connections.set(src, dst, float(count))
+        self._reallocate()
+
+    def set_connection_plan(self, plan: BandwidthMatrix) -> None:
+        """Install a whole connection-count matrix at once."""
+        if plan.keys != self.topology.keys:
+            plan = plan.subset(self.topology.keys)
+        if (plan.off_diagonal() < 1).any():
+            raise ValueError("connection plan has counts < 1")
+        self._connections = plan.copy()
+        self._reallocate()
+
+    def connections(self, src: str, dst: str) -> int:
+        """Current connection count for the pair."""
+        return int(self._connections.get(src, dst))
+
+    def connection_plan(self) -> BandwidthMatrix:
+        """Copy of the current connection-count matrix."""
+        return self._connections.copy()
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+
+    def start_transfer(
+        self,
+        src: str,
+        dst: str,
+        size_mbits: float,
+        on_complete: Optional[Callable[[Transfer], None]] = None,
+        tag: str = "",
+    ) -> Transfer:
+        """Begin a transfer now; completion fires ``on_complete``."""
+        if size_mbits < 0:
+            raise ValueError(f"negative transfer size: {size_mbits}")
+        self.topology.index(src)
+        self.topology.index(dst)
+        transfer = Transfer(src, dst, size_mbits, on_complete, tag)
+        transfer.start_time = self.sim.now
+        if size_mbits <= _EPS:
+            # Zero-size transfer completes immediately (still async).
+            self.sim.schedule(0.0, lambda: self._finish(transfer))
+            return transfer
+        if src == dst:
+            self._lan_active.append(transfer)
+        else:
+            self._active.setdefault((src, dst), []).append(transfer)
+        self._reallocate()
+        return transfer
+
+    def cancel_transfer(self, transfer: Transfer) -> None:
+        """Abort a transfer; ``on_complete`` does not fire."""
+        if transfer.done:
+            return
+        transfer.cancelled = True
+        self._remove(transfer)
+        self._reallocate()
+
+    def _remove(self, transfer: Transfer) -> None:
+        if transfer.src == transfer.dst:
+            if transfer in self._lan_active:
+                self._lan_active.remove(transfer)
+            return
+        pair = (transfer.src, transfer.dst)
+        bucket = self._active.get(pair)
+        if bucket and transfer in bucket:
+            bucket.remove(transfer)
+            if not bucket:
+                del self._active[pair]
+
+    def _finish(self, transfer: Transfer) -> None:
+        if transfer.cancelled:
+            return
+        transfer.transferred_mbits = transfer.size_mbits
+        transfer.finish_time = self.sim.now
+        self._remove(transfer)
+        if transfer.on_complete is not None:
+            transfer.on_complete(transfer)
+
+    # ------------------------------------------------------------------
+    # Rate allocation
+    # ------------------------------------------------------------------
+
+    def _weather_time(self) -> float:
+        return self.sim.now + self.time_offset
+
+    def pair_capacity(self, src: str, dst: str, connections: int) -> float:
+        """Aggregate ceiling for a pair with ``connections`` streams now
+        (weather and traffic control included, contention excluded)."""
+        i, j = self.topology.index(src), self.topology.index(dst)
+        rtt = self.topology.rtt_ms(src, dst)
+        cap = self.topology.tcp.aggregate_cap_mbps(rtt, connections, self.knee)
+        cap *= self.fluctuation.factor(i, j, self._weather_time())
+        return min(cap, self.tc.limit(src, dst))
+
+    def _progress(self) -> None:
+        """Advance all active transfers to the current time."""
+        dt = self.sim.now - self._last_progress_time
+        if dt > 0:
+            for bucket in self._active.values():
+                for transfer in bucket:
+                    transfer.transferred_mbits = min(
+                        transfer.size_mbits,
+                        transfer.transferred_mbits + transfer.rate_mbps * dt,
+                    )
+            for transfer in self._lan_active:
+                transfer.transferred_mbits = min(
+                    transfer.size_mbits,
+                    transfer.transferred_mbits + transfer.rate_mbps * dt,
+                )
+            for (src, dst), bucket in self._active.items():
+                rate = sum(t.rate_mbps for t in bucket)
+                stats = self._stats.setdefault((src, dst), PairStats())
+                stats.mbits += rate * dt
+                stats.active_seconds += dt
+                if rate > 0:
+                    stats.min_rate_mbps = min(stats.min_rate_mbps, rate)
+        self._last_progress_time = self.sim.now
+
+    def _reallocate(self) -> None:
+        """Re-solve rates and re-schedule the next completion event."""
+        self._progress()
+
+        pairs = sorted(self._active.keys())
+        flows = []
+        caps_by_src: dict[str, float] = {}
+        specs = []
+        for src, dst in pairs:
+            k = int(self._connections.get(src, dst))
+            rtt = self.topology.rtt_ms(src, dst)
+            cap = self.pair_capacity(src, dst, k)
+            specs.append((src, dst, k, rtt, cap))
+            caps_by_src[src] = caps_by_src.get(src, 0.0) + cap
+        for src, dst, k, rtt, cap in specs:
+            i, j = self.topology.index(src), self.topology.index(dst)
+            weight = self.topology.tcp.rtt_weight(rtt, k, self.knee)
+            # Congestion RTT bias: overloaded senders squeeze their
+            # long-RTT flows harder than fair weighting would.
+            egress = self.topology.dcs[i].egress_cap_mbps
+            overload = max(0.0, caps_by_src[src] / max(egress, _EPS) - 1.0)
+            if overload > 0:
+                weight /= 1.0 + (
+                    CONGESTION_RTT_BIAS * overload * rtt / _RTT_NORM_MS
+                )
+            flows.append(PairFlow(i, j, weight=weight, cap=cap))
+        # Per-VM congestion: a DC juggling many active streams loses
+        # effective NIC throughput (see tcp.vm_efficiency).  Counted per
+        # VM so association (more VMs per DC) raises the knee.
+        out_conns = {i: 0 for i in range(self.topology.n)}
+        in_conns = {j: 0 for j in range(self.topology.n)}
+        for src, dst in pairs:
+            k = int(self._connections.get(src, dst))
+            out_conns[self.topology.index(src)] += k
+            in_conns[self.topology.index(dst)] += k
+        egress = []
+        ingress = []
+        for i, dc in enumerate(self.topology.dcs):
+            egress.append(
+                dc.egress_cap_mbps
+                * tcp.vm_efficiency(out_conns[i] // max(1, dc.num_vms))
+            )
+            ingress.append(
+                dc.ingress_cap_mbps
+                * tcp.vm_efficiency(in_conns[i] // max(1, dc.num_vms))
+            )
+        rates = allocate(flows, egress, ingress)
+        for (src, dst), rate in zip(pairs, rates):
+            bucket = self._active[(src, dst)]
+            share = rate / len(bucket)
+            for transfer in bucket:
+                transfer.rate_mbps = share
+        for transfer in self._lan_active:
+            transfer.rate_mbps = LAN_MBPS
+
+        self._schedule_completion()
+        self._schedule_weather()
+
+    def _schedule_completion(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        eta = float("inf")
+        for bucket in self._active.values():
+            for transfer in bucket:
+                if transfer.rate_mbps > 0:
+                    eta = min(eta, transfer.remaining_mbits / transfer.rate_mbps)
+        for transfer in self._lan_active:
+            if transfer.rate_mbps > 0:
+                eta = min(eta, transfer.remaining_mbits / transfer.rate_mbps)
+        if eta < float("inf"):
+            self._completion_event = self.sim.schedule(
+                eta, self._on_completion, priority=1
+            )
+
+    def _on_completion(self) -> None:
+        self._completion_event = None
+        self._progress()
+        finished: list[Transfer] = []
+        for bucket in self._active.values():
+            finished.extend(t for t in bucket if t.remaining_mbits <= 1e-6)
+        finished.extend(
+            t for t in self._lan_active if t.remaining_mbits <= 1e-6
+        )
+        for transfer in finished:
+            self._finish(transfer)
+        self._reallocate()
+
+    def _schedule_weather(self) -> None:
+        has_traffic = bool(self._active)
+        if not has_traffic:
+            if self._weather_event is not None:
+                self._weather_event.cancel()
+                self._weather_event = None
+            return
+        if self._weather_event is None:
+            self._weather_event = self.sim.schedule(
+                WEATHER_REFRESH_S, self._on_weather, priority=2, daemon=True
+            )
+
+    def _on_weather(self) -> None:
+        self._weather_event = None
+        self._reallocate()
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def current_rate(self, src: str, dst: str) -> float:
+        """Instantaneous aggregate rate of an ordered pair (Mbps)."""
+        if src == dst:
+            return sum(t.rate_mbps for t in self._lan_active)
+        bucket = self._active.get((src, dst), [])
+        return sum(t.rate_mbps for t in bucket)
+
+    def rate_matrix(self) -> BandwidthMatrix:
+        """Instantaneous rates for all pairs."""
+        out = BandwidthMatrix.zeros(self.topology.keys)
+        for (src, dst), bucket in self._active.items():
+            out.set(src, dst, sum(t.rate_mbps for t in bucket))
+        return out
+
+    def pair_statistics(self) -> dict[tuple[str, str], PairStats]:
+        """Accumulated per-pair stats (bytes, active time, min rate)."""
+        self._progress()
+        return {pair: stats for pair, stats in self._stats.items()}
+
+    def reset_statistics(self) -> None:
+        """Zero the accumulated per-pair statistics."""
+        self._progress()
+        self._stats.clear()
+
+    def total_wan_mbits(self) -> float:
+        """Total inter-DC payload delivered so far."""
+        self._progress()
+        return sum(s.mbits for s in self._stats.values())
+
+    def egress_mbits_by_dc(self) -> dict[str, float]:
+        """WAN egress per source DC (for network-cost accounting)."""
+        self._progress()
+        out: dict[str, float] = {}
+        for (src, _dst), stats in self._stats.items():
+            out[src] = out.get(src, 0.0) + stats.mbits
+        return out
+
+    def min_observed_bw(self, volume_fraction: float = 0.005) -> float:
+        """Weakest average pair rate among pairs that carried real
+        traffic — the "minimum BW of the cluster" reported throughout §5.
+
+        Pairs carrying less than ``volume_fraction`` of the total WAN
+        volume are ignored: a trickle pair's average rate says nothing
+        about link capacity (ifTop-style monitoring would not surface
+        it either).
+        """
+        self._progress()
+        total = sum(s.mbits for s in self._stats.values())
+        if total <= 0:
+            return 0.0
+        floor = total * volume_fraction
+        rates = [
+            s.avg_rate_mbps
+            for s in self._stats.values()
+            if s.mbits >= floor and s.active_seconds > 0
+        ]
+        return min(rates) if rates else 0.0
+
+    def observed_bw_matrix(self) -> BandwidthMatrix:
+        """Average achieved rate per pair over the measured interval."""
+        self._progress()
+        out = BandwidthMatrix.zeros(self.topology.keys)
+        for (src, dst), stats in self._stats.items():
+            out.set(src, dst, stats.avg_rate_mbps)
+        return out

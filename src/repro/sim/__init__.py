@@ -1,0 +1,16 @@
+"""Discrete-event simulation kernel.
+
+A tiny, dependency-free event-driven simulator used by the WAN substrate
+(:mod:`repro.net`) and the GDA execution engine (:mod:`repro.gda`).
+
+The kernel intentionally exposes only three concepts:
+
+* :class:`~repro.sim.kernel.Event` — a scheduled callback,
+* :class:`~repro.sim.kernel.Simulator` — the event loop and clock,
+* :class:`~repro.sim.kernel.Process` — a resumable activity built from
+  events (used for periodic agents such as the AIMD local optimizer).
+"""
+
+from repro.sim.kernel import Event, Process, Simulator
+
+__all__ = ["Event", "Process", "Simulator"]

@@ -1,0 +1,207 @@
+"""Event queue, simulation clock, and periodic processes.
+
+The simulator is a classic calendar-queue design: events are ``(time,
+priority, sequence)``-ordered callbacks popped from a binary heap.  The
+sequence number makes the ordering total and deterministic, which matters
+because the whole reproduction is seeded — two runs with the same seed
+must produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, seq)`` so the heap pops them in
+    deterministic order.  ``cancelled`` events stay in the heap but are
+    skipped when popped (lazy deletion).
+
+    ``daemon`` events (periodic samplers, monitors, weather refreshes)
+    do not keep an open-ended :meth:`Simulator.run` alive: once only
+    daemon events remain, the run returns — the same semantics as daemon
+    threads.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    daemon: bool = field(default=False, compare=False)
+    _on_cancel: Optional[Callable[[], None]] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it."""
+        if not self.cancelled:
+            self.cancelled = True
+            if self._on_cancel is not None:
+                self._on_cancel()
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, lambda: fired.append("b"))
+    >>> _ = sim.schedule(1.0, lambda: fired.append("a"))
+    >>> sim.run()
+    >>> fired
+    ['a', 'b']
+    >>> sim.now
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        #: Pending non-daemon, non-cancelled events; when this reaches
+        #: zero an open-ended run() returns even if daemons remain.
+        self._live = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        daemon: bool = False,
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        ``priority`` breaks ties at equal times (lower fires first);
+        it is used e.g. to ensure flow-rate recomputation happens after
+        all flow arrivals at the same instant.  ``daemon`` events do not
+        keep an open-ended :meth:`run` alive.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        event = Event(
+            self._now + delay, priority, next(self._seq), callback,
+            daemon=daemon,
+        )
+        if not daemon:
+            self._live += 1
+            event._on_cancel = self._drop_live
+        heapq.heappush(self._queue, event)
+        return event
+
+    def _drop_live(self) -> None:
+        self._live -= 1
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        daemon: bool = False,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        return self.schedule(time - self._now, callback, priority, daemon)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Pop and run the next event.  Returns ``False`` when drained."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if not event.daemon:
+                self._live -= 1
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock passes ``until``.
+
+        When ``until`` is given the clock is advanced to exactly
+        ``until`` even if no event fires there, so periodic samplers
+        observe a consistent end time.  Without ``until``, the run also
+        returns once only daemon events remain — a forgotten monitor
+        cannot wedge the simulation.
+        """
+        self._running = True
+        try:
+            while self._running:
+                if until is None and self._live <= 0:
+                    break
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def stop(self) -> None:
+        """Stop an in-progress :meth:`run` after the current event."""
+        self._running = False
+
+
+class Process:
+    """A periodic activity: fires ``body(sim.now)`` every ``interval`` seconds.
+
+    Used for agents that poll (WAN monitors, AIMD optimizers, fluctuation
+    updates).  The process re-arms itself after each tick until
+    :meth:`stop` is called.  Pollers are ``daemon`` by default: they
+    observe the simulation but should not keep it alive once the real
+    work (transfers) has drained.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        body: Callable[[float], None],
+        start_delay: float = 0.0,
+        priority: int = 0,
+        daemon: bool = True,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        self._sim = sim
+        self._interval = interval
+        self._body = body
+        self._priority = priority
+        self._daemon = daemon
+        self._stopped = False
+        self._event = sim.schedule(start_delay, self._tick, priority, daemon)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._body(self._sim.now)
+        if not self._stopped:
+            self._event = self._sim.schedule(
+                self._interval, self._tick, self._priority, self._daemon
+            )
+
+    def stop(self) -> None:
+        """Stop the periodic activity; pending tick is cancelled."""
+        self._stopped = True
+        self._event.cancel()

@@ -1,0 +1,112 @@
+"""Tests for regions, VM types, and pricing."""
+
+import pytest
+
+from repro.cloud.pricing import (
+    PriceBook,
+    SECONDS_PER_YEAR,
+    monitoring_annual_cost,
+)
+from repro.cloud.regions import (
+    PAPER_REGIONS,
+    all_regions,
+    haversine_miles,
+    region,
+)
+from repro.cloud.vm import vm_type
+
+
+class TestRegions:
+    def test_paper_regions_all_catalogued(self):
+        for key in PAPER_REGIONS:
+            assert region(key).provider == "aws"
+
+    def test_eight_paper_regions(self):
+        assert len(PAPER_REGIONS) == 8
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(KeyError, match="unknown region"):
+            region("mars-north-1")
+
+    def test_haversine_known_distance(self):
+        # New York to London ≈ 3,461 miles.
+        d = haversine_miles(40.71, -74.01, 51.51, -0.13)
+        assert 3400 < d < 3520
+
+    def test_haversine_zero_for_same_point(self):
+        assert haversine_miles(10.0, 20.0, 10.0, 20.0) == 0.0
+
+    def test_distance_symmetry(self):
+        a, b = region("us-east-1"), region("ap-southeast-1")
+        assert a.distance_miles(b) == pytest.approx(b.distance_miles(a))
+
+    def test_us_coasts_closer_than_transpacific(self):
+        use = region("us-east-1")
+        usw = region("us-west-1")
+        apse = region("ap-southeast-1")
+        assert use.distance_miles(usw) < use.distance_miles(apse)
+
+    def test_gcp_regions_present(self):
+        providers = {r.provider for r in all_regions()}
+        assert providers == {"aws", "gcp"}
+
+
+class TestVMTypes:
+    def test_wan_cap_halves_nic(self):
+        vm = vm_type("m5.large")
+        assert vm.wan_cap_mbps == pytest.approx(
+            vm.nic_gbps * 1000 * 0.5
+        )
+
+    def test_unknown_vm_raises(self):
+        with pytest.raises(KeyError, match="unknown VM type"):
+            vm_type("z9.mega")
+
+    def test_probe_vm_sustains_more_wan_than_workers(self):
+        # The motivation experiments need unlimited-burst t3.nano to
+        # reach the Fig. 1 single-connection rates.
+        assert (
+            vm_type("t3.nano").wan_cap_mbps
+            > vm_type("t2.medium").wan_cap_mbps
+        )
+
+
+class TestPricing:
+    def test_compute_cost_scales_with_time(self):
+        prices = PriceBook()
+        one_hour = prices.compute_cost("t2.medium", 3600)
+        assert one_hour == pytest.approx(0.0464)
+        assert prices.compute_cost("t2.medium", 7200) == pytest.approx(
+            2 * one_hour
+        )
+
+    def test_burst_surcharge(self):
+        prices = PriceBook()
+        plain = prices.compute_cost("t2.medium", 3600)
+        burst = prices.compute_cost("t2.medium", 3600, vcpus=2, burst=True)
+        assert burst == pytest.approx(plain + 0.05 * 2)
+
+    def test_network_cost_per_gb(self):
+        assert PriceBook().network_cost(50.0) == pytest.approx(1.0)
+
+    def test_storage_cost_monthly_rate(self):
+        prices = PriceBook()
+        month = 30 * 24 * 3600.0
+        assert prices.storage_cost(100.0, month) == pytest.approx(2.3)
+
+    def test_monitoring_cost_matches_paper_band(self):
+        # Table 2: $703 / $1055 / $1406 for N = 4 / 6 / 8.
+        for n, paper in [(4, 703.0), (6, 1055.0), (8, 1406.0)]:
+            measured = monitoring_annual_cost(n, 20.0, 200.0)
+            assert abs(measured - paper) / paper < 0.10
+
+    def test_monitoring_cost_linear_in_nodes(self):
+        c4 = monitoring_annual_cost(4, 20.0, 200.0)
+        c8 = monitoring_annual_cost(8, 20.0, 200.0)
+        assert c8 == pytest.approx(2 * c4)
+
+    def test_occurrences_follow_cadence(self):
+        hourly = monitoring_annual_cost(4, 20.0, 200.0, cadence_s=3600.0)
+        half_hourly = monitoring_annual_cost(4, 20.0, 200.0, cadence_s=1800.0)
+        assert half_hourly == pytest.approx(2 * hourly)
+        assert SECONDS_PER_YEAR / 1800.0 == pytest.approx(17520.0)

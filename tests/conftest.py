@@ -1,0 +1,40 @@
+"""Shared test fixtures: small topologies and deterministic weather."""
+
+import pytest
+
+from repro.cloud.regions import PAPER_REGIONS
+from repro.net.dynamics import FluctuationModel, StaticModel
+from repro.net.topology import Topology
+
+#: A 3-DC corner of the paper's testbed: two nearby DCs + one distant.
+TRIAD = ("us-east-1", "us-west-1", "ap-southeast-1")
+
+
+@pytest.fixture
+def triad() -> Topology:
+    """3-DC probe topology (t3.nano, like the §2.2 motivation)."""
+    return Topology.build(TRIAD, "t3.nano")
+
+
+@pytest.fixture
+def triad_workers() -> Topology:
+    """3-DC worker topology (t2.medium)."""
+    return Topology.build(TRIAD, "t2.medium")
+
+
+@pytest.fixture
+def full_topology() -> Topology:
+    """All 8 paper regions on worker VMs."""
+    return Topology.build(PAPER_REGIONS, "t2.medium")
+
+
+@pytest.fixture
+def weather() -> FluctuationModel:
+    """Seeded fluctuation model."""
+    return FluctuationModel(seed=123)
+
+
+@pytest.fixture
+def calm() -> StaticModel:
+    """No fluctuation."""
+    return StaticModel()

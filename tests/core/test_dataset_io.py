@@ -1,0 +1,127 @@
+"""Serialization tests for :class:`repro.core.dataset.TrainingSet` —
+the interchange formats for the paper's open-sourced datasets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import TrainingSet, build_training_set
+from repro.core.features import FEATURE_NAMES
+from repro.net.dynamics import FluctuationModel
+from repro.net.topology import Topology
+
+TRIAD = ("us-east-1", "us-west-1", "ap-southeast-1")
+
+
+@pytest.fixture(scope="module")
+def small_set() -> TrainingSet:
+    topology = Topology.build(TRIAD, "t2.medium")
+    return build_training_set(
+        topology, FluctuationModel(seed=3), n_datasets=4, seed=9
+    )
+
+
+class TestNpzRoundTrip:
+    def test_round_trip_preserves_everything(self, small_set, tmp_path):
+        target = tmp_path / "train.npz"
+        small_set.save(target)
+        loaded = TrainingSet.load(target)
+        np.testing.assert_allclose(loaded.X, small_set.X)
+        np.testing.assert_allclose(loaded.y, small_set.y)
+        assert loaded.pair_labels == small_set.pair_labels
+        assert loaded.sample_times == pytest.approx(small_set.sample_times)
+        assert loaded.cluster_sizes == small_set.cluster_sizes
+
+    def test_load_without_sidecar_drops_labels_only(self, small_set, tmp_path):
+        target = tmp_path / "train.npz"
+        small_set.save(target)
+        (tmp_path / "train.labels.json").unlink()
+        loaded = TrainingSet.load(target)
+        assert loaded.pair_labels == []
+        np.testing.assert_allclose(loaded.y, small_set.y)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_everything(self, small_set, tmp_path):
+        target = tmp_path / "train.csv"
+        small_set.to_csv(target)
+        loaded = TrainingSet.from_csv(target)
+        np.testing.assert_allclose(loaded.X, small_set.X)
+        np.testing.assert_allclose(loaded.y, small_set.y)
+        assert loaded.pair_labels == small_set.pair_labels
+        assert loaded.sample_times == pytest.approx(small_set.sample_times)
+        # Cluster sizes are recovered from the N feature column.
+        assert loaded.cluster_sizes == small_set.cluster_sizes
+
+    def test_header_matches_table3_order(self, small_set, tmp_path):
+        target = tmp_path / "train.csv"
+        small_set.to_csv(target)
+        header = target.read_text().splitlines()[0].split(",")
+        assert header[3:-1] == list(FEATURE_NAMES)
+
+    def test_rejects_empty_file(self, tmp_path):
+        target = tmp_path / "empty.csv"
+        target.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            TrainingSet.from_csv(target)
+
+    def test_rejects_wrong_header(self, tmp_path):
+        target = tmp_path / "bad.csv"
+        target.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            TrainingSet.from_csv(target)
+
+    def test_rejects_short_row(self, small_set, tmp_path):
+        target = tmp_path / "trunc.csv"
+        small_set.to_csv(target)
+        lines = target.read_text().splitlines()
+        lines.append("us-east-1,us-west-1,0.0,1.0")
+        target.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="cells"):
+            TrainingSet.from_csv(target)
+
+
+@st.composite
+def training_sets(draw) -> TrainingSet:
+    n = draw(st.integers(min_value=1, max_value=12))
+    cluster_n = draw(st.integers(min_value=2, max_value=8))
+    finite = st.floats(
+        min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+    )
+    X = np.array(
+        [
+            [float(cluster_n)]
+            + [draw(finite) for _ in range(len(FEATURE_NAMES) - 1)]
+            for _ in range(n)
+        ]
+    )
+    y = np.array([draw(finite) for _ in range(n)])
+    labels = [(f"dc{i}", f"dc{i + 1}") for i in range(n)]
+    times = [float(i) * 17.0 for i in range(n)]
+    sizes = [cluster_n] * n
+    return TrainingSet(X, y, labels, times, sizes)
+
+
+class TestCsvProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(ts=training_sets())
+    def test_csv_round_trip_is_lossless(self, ts, tmp_path_factory):
+        target = tmp_path_factory.mktemp("csv") / "ts.csv"
+        ts.to_csv(target)
+        loaded = TrainingSet.from_csv(target)
+        np.testing.assert_array_equal(loaded.X, ts.X)
+        np.testing.assert_array_equal(loaded.y, ts.y)
+        assert loaded.pair_labels == ts.pair_labels
+        assert loaded.cluster_sizes == ts.cluster_sizes
+
+
+class TestMerge:
+    def test_merge_concatenates(self, small_set):
+        merged = small_set.merge(small_set)
+        assert len(merged) == 2 * len(small_set)
+        assert merged.pair_labels[: len(small_set)] == small_set.pair_labels
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            TrainingSet(np.zeros((3, 6)), np.zeros(2))

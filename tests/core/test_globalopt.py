@@ -1,0 +1,181 @@
+"""Tests for the Eq. 2/3 global optimizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.globalopt import (
+    ABSOLUTE_MAX_CONNECTIONS,
+    PER_VM_STREAM_BUDGET,
+    optimize_connections,
+    static_range_plan,
+    uniform_plan,
+)
+from repro.net.matrix import BandwidthMatrix
+
+PAPER_BW = BandwidthMatrix(
+    ("d1", "d2", "d3"),
+    np.array([[1000, 400, 120], [380, 1000, 130], [110, 120, 1000]], float),
+)
+
+
+class TestPaperExample:
+    def test_min_cons_all_ones(self):
+        plan = optimize_connections(
+            PAPER_BW, max_connections=8, min_difference=30, intra_bw=1000
+        )
+        off = ~np.eye(3, dtype=bool)
+        assert (plan.min_connections.values[off] == 1).all()
+
+    def test_max_cons_matches_paper_off_diagonal(self):
+        # Paper: maxCons = {_, 6, 8; 6, _, 8; 8, 8, _}.
+        plan = optimize_connections(
+            PAPER_BW, max_connections=8, min_difference=30, intra_bw=1000
+        )
+        values = plan.max_connections.values
+        assert values[0, 1] == 6 and values[1, 0] == 6
+        assert values[0, 2] == 8 and values[1, 2] == 8
+        assert values[2, 0] == 8 and values[2, 1] == 8
+
+    def test_diagonal_is_one(self):
+        plan = optimize_connections(
+            PAPER_BW, max_connections=8, min_difference=30, intra_bw=1000
+        )
+        assert (np.diag(plan.max_connections.values) == 1).all()
+        assert (np.diag(plan.min_connections.values) == 1).all()
+
+    def test_achievable_bw_is_product(self):
+        plan = optimize_connections(
+            PAPER_BW, max_connections=8, min_difference=30, intra_bw=1000
+        )
+        assert plan.max_bw.get("d1", "d3") == pytest.approx(120 * 8)
+        assert plan.min_bw.get("d1", "d3") == pytest.approx(120 * 1)
+
+
+class TestStructure:
+    def test_weak_pairs_get_more_connections(self):
+        plan = optimize_connections(PAPER_BW, min_difference=30)
+        strong = plan.max_connections.get("d1", "d2")
+        weak = plan.max_connections.get("d1", "d3")
+        assert weak > strong
+
+    def test_window_well_ordered(self):
+        plan = optimize_connections(PAPER_BW, min_difference=30)
+        assert (
+            plan.min_connections.values <= plan.max_connections.values
+        ).all()
+
+    def test_row_budget_respected(self):
+        keys = tuple(f"dc{i}" for i in range(8))
+        # All-weak mesh: every pair would want M connections.
+        bw = BandwidthMatrix.full(keys, 100.0)
+        plan = optimize_connections(bw)
+        off = ~np.eye(8, dtype=bool)
+        for i in range(8):
+            assert (
+                plan.max_connections.values[i][off[i]].sum()
+                <= PER_VM_STREAM_BUDGET
+            )
+
+    def test_absolute_cap(self):
+        plan = optimize_connections(
+            PAPER_BW,
+            max_connections=10,
+            min_difference=30,
+            skew_weights={"d1": 5.0, "d2": 0.1, "d3": 0.1},
+        )
+        assert plan.max_connections.values.max() <= ABSOLUTE_MAX_CONNECTIONS
+
+    def test_invalid_max_connections(self):
+        with pytest.raises(ValueError):
+            optimize_connections(PAPER_BW, max_connections=0)
+
+
+class TestSkewWeights:
+    def test_heavy_pairs_gain_light_pairs_never_lose(self):
+        """§3.3.1: ws boosts data-intensive DCs' pairs; pairs between
+        data-light DCs keep their skew-unaware allocation (the pair
+        factor is floored at 1) — starving light senders would drag the
+        cluster minimum BW down, the opposite of Fig. 10."""
+        ws = {"d1": 2.4, "d2": 0.3, "d3": 0.3}
+        plain = optimize_connections(PAPER_BW, min_difference=30)
+        skewed = optimize_connections(
+            PAPER_BW, min_difference=30, skew_weights=ws
+        )
+        # Pairs touching the data-heavy DC gain (or saturate the cap).
+        for src, dst in (("d1", "d2"), ("d1", "d3")):
+            assert skewed.max_connections.get(src, dst) >= (
+                plain.max_connections.get(src, dst)
+            )
+        # The light-light pair keeps its allocation exactly.
+        for src, dst in (("d2", "d3"), ("d3", "d2")):
+            assert skewed.max_connections.get(src, dst) == (
+                plain.max_connections.get(src, dst)
+            )
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_connections(
+                PAPER_BW, skew_weights={"d1": 0.0, "d2": 1, "d3": 1}
+            )
+
+
+class TestRvec:
+    def test_rvec_scales_achievable_bw(self):
+        rvec = {"d1": 0.81, "d2": 1.0, "d3": 1.0}
+        plain = optimize_connections(PAPER_BW, min_difference=30)
+        scaled = optimize_connections(
+            PAPER_BW, min_difference=30, rvec=rvec
+        )
+        # Geometric mean of (0.81, 1.0) = 0.9.
+        assert scaled.max_bw.get("d1", "d2") == pytest.approx(
+            plain.max_bw.get("d1", "d2") * 0.9, rel=1e-6
+        )
+
+    def test_invalid_rvec_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_connections(PAPER_BW, rvec={"d1": -1.0})
+
+
+class TestBaselinePlans:
+    def test_uniform_plan_counts(self):
+        plan = uniform_plan(PAPER_BW, connections=8)
+        off = ~np.eye(3, dtype=bool)
+        assert (plan.max_connections.values[off] == 8).all()
+        assert (plan.min_connections.values[off] == 8).all()
+
+    def test_static_range_plan_window(self):
+        plan = static_range_plan(PAPER_BW, 1, 8)
+        assert plan.connection_window("d1", "d3") == (1, 8)
+        lo, hi = plan.bw_window("d1", "d3")
+        assert lo == pytest.approx(120.0)
+        assert hi == pytest.approx(960.0)
+
+
+# -- Properties --------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=6).flatmap(
+        lambda n: st.lists(
+            st.floats(min_value=10.0, max_value=3000.0),
+            min_size=n * n,
+            max_size=n * n,
+        ).map(lambda vals: np.array(vals).reshape(n, n))
+    ),
+    st.integers(min_value=2, max_value=10),
+)
+def test_plan_invariants(values, m):
+    keys = tuple(f"dc{i}" for i in range(values.shape[0]))
+    plan = optimize_connections(BandwidthMatrix(keys, values), m)
+    n = len(keys)
+    min_c = plan.min_connections.values
+    max_c = plan.max_connections.values
+    assert (min_c >= 1).all() and (max_c >= 1).all()
+    assert (min_c <= max_c).all()
+    assert (max_c <= ABSOLUTE_MAX_CONNECTIONS).all()
+    assert (np.diag(max_c) == 1).all()
+    off = ~np.eye(n, dtype=bool)
+    assert (plan.min_bw.values[off] <= plan.max_bw.values[off] + 1e-9).all()
+    assert (np.diag(plan.max_bw.values) == 0).all()

@@ -1,0 +1,107 @@
+"""Tests for skew weights, rvec, and association."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.globalopt import optimize_connections
+from repro.core.heterogeneity import (
+    _proportional_chunks,
+    associated_bw,
+    chunk_plan_for_workers,
+    refactoring_vector,
+    skew_weights_from_sizes,
+)
+from repro.net.matrix import BandwidthMatrix
+
+
+class TestSkewWeights:
+    def test_normalized_to_mean_one(self):
+        w = skew_weights_from_sizes({"a": 100.0, "b": 200.0, "c": 300.0})
+        assert np.mean(list(w.values())) == pytest.approx(1.0, rel=0.05)
+
+    def test_heavy_dc_gets_heavier_weight(self):
+        w = skew_weights_from_sizes({"a": 500.0, "b": 100.0})
+        assert w["a"] > w["b"]
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            skew_weights_from_sizes({"a": 0.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            skew_weights_from_sizes({})
+
+    def test_floor_for_empty_dcs(self):
+        w = skew_weights_from_sizes({"a": 1000.0, "b": 0.0})
+        assert w["b"] > 0
+
+
+class TestRefactoringVector:
+    def test_default_factors(self):
+        rvec = refactoring_vector({"a": "aws", "b": "gcp"})
+        assert rvec["a"] == 1.0
+        assert rvec["b"] == 0.9
+
+    def test_custom_factors(self):
+        rvec = refactoring_vector(
+            {"a": "aws"}, provider_factors={"aws": 1.2}
+        )
+        assert rvec["a"] == 1.2
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            refactoring_vector({"a": "aws"}, provider_factors={"aws": 0.0})
+
+
+class TestAssociation:
+    def test_bw_scales_with_smaller_fleet(self):
+        bw = BandwidthMatrix.full(("a", "b", "c"), 100.0)
+        scaled = associated_bw(bw, {"a": 3, "b": 2, "c": 1})
+        assert scaled.get("a", "b") == pytest.approx(200.0)
+        assert scaled.get("a", "c") == pytest.approx(100.0)
+
+    def test_invalid_vm_count_rejected(self):
+        bw = BandwidthMatrix.full(("a", "b"), 100.0)
+        with pytest.raises(ValueError):
+            associated_bw(bw, {"a": 0, "b": 1})
+
+
+class TestChunking:
+    def test_chunks_cover_dc_window(self):
+        bw = BandwidthMatrix(
+            ("a", "b", "c"),
+            np.array([[0, 800, 120], [800, 0, 130], [120, 130, 0]], float),
+        )
+        plan = optimize_connections(bw, min_difference=30)
+        workers = chunk_plan_for_workers(plan, "a", 2)
+        assert len(workers) == 2
+        lo, hi = plan.connection_window("a", "c")
+        total_hi = sum(w["c"][1] for w in workers)
+        # Sum across workers ≈ the DC window (within the ≥1 floor).
+        assert total_hi >= hi
+
+    def test_single_worker_identity(self):
+        bw = BandwidthMatrix.full(("a", "b"), 500.0)
+        plan = optimize_connections(bw)
+        workers = chunk_plan_for_workers(plan, "a", 1)
+        assert workers[0]["b"] == plan.connection_window("a", "b")
+
+    def test_invalid_worker_count(self):
+        bw = BandwidthMatrix.full(("a", "b"), 500.0)
+        plan = optimize_connections(bw)
+        with pytest.raises(ValueError):
+            chunk_plan_for_workers(plan, "a", 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=1, max_value=10),
+)
+def test_proportional_chunks_sum_and_balance(total, parts):
+    chunks = _proportional_chunks(total, parts)
+    assert sum(chunks) == total
+    assert len(chunks) == parts
+    assert max(chunks) - min(chunks) <= 1

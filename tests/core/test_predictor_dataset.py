@@ -1,0 +1,150 @@
+"""Tests for features, dataset construction, analyzer, and predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import BandwidthAnalyzer
+from repro.core.dataset import TrainingSet, build_training_set
+from repro.core.features import (
+    FEATURE_NAMES,
+    pair_feature_vector,
+    report_feature_rows,
+)
+from repro.core.predictor import WanPredictionModel
+from repro.net.dynamics import FluctuationModel
+from repro.net.measurement import snapshot, stable_runtime
+
+
+@pytest.fixture(scope="module")
+def small_training(request):
+    from repro.net.topology import Topology
+    from repro.cloud.regions import PAPER_REGIONS
+
+    topo = Topology.build(PAPER_REGIONS[:5], "t2.medium")
+    weather = FluctuationModel(seed=31)
+    training = build_training_set(topo, weather, n_datasets=25, seed=31)
+    return topo, weather, training
+
+
+class TestFeatures:
+    def test_feature_vector_matches_table3(self, triad, weather):
+        report = snapshot(triad, weather, at_time=50.0)
+        vec = pair_feature_vector(report, triad, "us-east-1", "us-west-1")
+        assert len(vec) == len(FEATURE_NAMES) == 6
+        assert vec[0] == 3.0  # N
+        assert vec[1] == report.matrix.get("us-east-1", "us-west-1")
+        assert vec[5] == pytest.approx(
+            triad.distance_miles("us-east-1", "us-west-1")
+        )
+
+    def test_rows_cover_all_pairs(self, triad, weather):
+        report = snapshot(triad, weather, at_time=50.0)
+        pairs, rows = report_feature_rows(report, triad)
+        assert len(pairs) == 6
+        assert rows.shape == (6, 6)
+
+
+class TestTrainingSet:
+    def test_build_has_consistent_rows(self, small_training):
+        _, _, training = small_training
+        assert len(training) == len(training.pair_labels)
+        assert training.X.shape == (len(training), 6)
+        assert not np.isnan(training.X).any()
+        assert (training.y >= 0).all()
+
+    def test_cluster_sizes_within_range(self, small_training):
+        _, _, training = small_training
+        assert set(training.cluster_sizes) <= {2, 3, 4, 5}
+
+    def test_merge_concatenates(self, small_training):
+        _, _, training = small_training
+        merged = training.merge(training)
+        assert len(merged) == 2 * len(training)
+
+    def test_save_load_roundtrip(self, small_training, tmp_path):
+        _, _, training = small_training
+        path = tmp_path / "train.npz"
+        training.save(path)
+        loaded = TrainingSet.load(path)
+        assert np.allclose(loaded.X, training.X)
+        assert np.allclose(loaded.y, training.y)
+        assert loaded.pair_labels == training.pair_labels
+
+    def test_invalid_cluster_sizes_rejected(self, triad, weather):
+        with pytest.raises(ValueError, match="outside"):
+            build_training_set(
+                triad, weather, n_datasets=2, cluster_sizes=(9,)
+            )
+
+    def test_invalid_dataset_count_rejected(self, triad, weather):
+        with pytest.raises(ValueError):
+            build_training_set(triad, weather, n_datasets=0)
+
+
+class TestAnalyzer:
+    def test_collect_tracks_cost(self, triad, weather):
+        analyzer = BandwidthAnalyzer(
+            triad, weather, n_datasets=5, seed=4
+        )
+        training = analyzer.collect()
+        assert len(training) > 0
+        assert analyzer.last_cost.dollars > 0
+        assert analyzer.last_cost.instance_seconds > 0
+
+
+class TestPredictor:
+    def test_training_accuracy_high(self, small_training):
+        _, _, training = small_training
+        model = WanPredictionModel(n_estimators=20)
+        model.fit(training)
+        # Paper reports 98.51%; our fast config should clear 90%.
+        assert model.train_accuracy > 90.0
+
+    def test_unfitted_accuracy_raises(self):
+        with pytest.raises(RuntimeError):
+            WanPredictionModel().train_accuracy
+
+    def test_all_features_significant(self, small_training):
+        # §5.1: "all features in Table 3 were significant during model
+        # training".
+        _, _, training = small_training
+        model = WanPredictionModel(n_estimators=30)
+        model.fit(training)
+        assert (model.feature_importances > 0).all()
+
+    def test_predicted_matrix_close_to_actual(self, small_training):
+        topo, weather, training = small_training
+        model = WanPredictionModel(n_estimators=30).fit(training)
+        at = 4.2e5
+        report = snapshot(topo, weather, at_time=at)
+        predicted = model.predict_matrix(report, topo)
+        actual = stable_runtime(topo, weather, at_time=at).matrix
+        sig = predicted.significant_differences(actual)
+        # Far fewer significant misses than links.
+        assert len(sig) <= 4
+
+    def test_predictions_nonnegative(self, small_training):
+        topo, weather, training = small_training
+        model = WanPredictionModel(n_estimators=10).fit(training)
+        preds = model.predict_rows(training.X)
+        assert (preds >= 0).all()
+
+    def test_staleness_flag_latches(self, small_training):
+        topo, weather, training = small_training
+        model = WanPredictionModel(
+            n_estimators=10, error_threshold_mbps=1.0, error_window=2
+        ).fit(training)
+        from repro.net.matrix import BandwidthMatrix
+
+        a = BandwidthMatrix.full(topo.keys, 100.0)
+        b = BandwidthMatrix.full(topo.keys, 500.0)
+        model.track_error(a, b)
+        assert model.needs_retraining
+
+    def test_retrain_warm_start_extends_forest(self, small_training):
+        _, _, training = small_training
+        model = WanPredictionModel(n_estimators=10).fit(training)
+        before = len(model.forest.trees)
+        model.retrain(training, extra_estimators=5)
+        assert len(model.forest.trees) == before + 5
+        assert not model.needs_retraining

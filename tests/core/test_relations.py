@@ -1,0 +1,114 @@
+"""Tests for Algorithm 1 (INFER_DC_RELATIONS)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relations import (
+    filter_levels,
+    infer_dc_relations,
+)
+
+PAPER_BW = np.array(
+    [[1000, 400, 120], [380, 1000, 130], [110, 120, 1000]], dtype=float
+)
+
+
+class TestPaperExample:
+    def test_level_filtering_matches_paper(self):
+        # §3.2.1: {110, 120, 130, 380, 400, 1000} with D=30 → {110, 380, 1000}.
+        levels = filter_levels(
+            np.array([110, 120, 130, 380, 400, 1000]), 30
+        )
+        assert levels == [110.0, 380.0, 1000.0]
+
+    def test_closeness_indices_match_paper(self):
+        rel = infer_dc_relations(PAPER_BW, 30)
+        assert rel.tolist() == [[1, 2, 3], [2, 1, 3], [3, 3, 1]]
+
+    def test_exact_match_and_interval_cases(self):
+        rel = infer_dc_relations(PAPER_BW, 30)
+        # 400 is not a surviving level; nearest is 380 → same closeness.
+        assert rel[0, 1] == rel[1, 0]
+
+
+class TestFilterLevels:
+    def test_no_filtering_when_gaps_large(self):
+        assert filter_levels(np.array([10, 200, 500]), 50) == [
+            10.0,
+            200.0,
+            500.0,
+        ]
+
+    def test_keeps_lowest_of_a_cluster(self):
+        assert filter_levels(np.array([100, 110, 120, 130]), 15) == [100.0]
+
+    def test_duplicates_collapse(self):
+        assert filter_levels(np.array([5, 5, 5]), 1) == [5.0]
+
+    def test_negative_min_difference_rejected(self):
+        with pytest.raises(ValueError):
+            filter_levels(np.array([1.0]), -1)
+
+    def test_zero_difference_keeps_all_unique(self):
+        assert filter_levels(np.array([1, 2, 3]), 0) == [1.0, 2.0, 3.0]
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            infer_dc_relations(np.zeros((2, 3)))
+
+    def test_uniform_matrix_single_level(self):
+        rel = infer_dc_relations(np.full((3, 3), 500.0), 100)
+        assert (rel == 1).all()
+
+
+# -- Properties --------------------------------------------------------------
+
+bw_matrix_strategy = st.integers(min_value=2, max_value=6).flatmap(
+    lambda n: st.lists(
+        st.floats(min_value=1.0, max_value=5000.0),
+        min_size=n * n,
+        max_size=n * n,
+    ).map(lambda vals: np.array(vals).reshape(n, n))
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(bw_matrix_strategy, st.floats(min_value=0, max_value=500))
+def test_indices_in_range(bw, min_difference):
+    rel = infer_dc_relations(bw, min_difference)
+    levels = filter_levels(bw, min_difference)
+    assert rel.min() >= 1
+    assert rel.max() <= len(levels)
+
+
+@settings(max_examples=80, deadline=None)
+@given(bw_matrix_strategy, st.floats(min_value=0, max_value=500))
+def test_higher_bw_never_farther(bw, min_difference):
+    """Monotonicity: a higher BW cell never gets a larger (farther)
+    closeness index than a lower one."""
+    rel = infer_dc_relations(bw, min_difference)
+    flat_bw = bw.ravel()
+    flat_rel = rel.ravel()
+    order = np.argsort(flat_bw)
+    sorted_rel = flat_rel[order]
+    # As BW increases the closeness index must be non-increasing.
+    assert (np.diff(sorted_rel) <= 0).all() or (
+        # allow equal-BW ties in any order
+        all(
+            sorted_rel[i + 1] <= sorted_rel[i]
+            or flat_bw[order[i + 1]] == flat_bw[order[i]]
+            for i in range(len(sorted_rel) - 1)
+        )
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(bw_matrix_strategy)
+def test_deterministic(bw):
+    a = infer_dc_relations(bw, 100)
+    b = infer_dc_relations(bw, 100)
+    assert (a == b).all()

@@ -1,0 +1,149 @@
+"""Smoke tests for the experiment harness.
+
+Full experiment regeneration is the benchmark suite's job; these tests
+cover the cheap experiments end-to-end and the shared helpers, so a
+broken harness fails fast in the unit suite.
+"""
+
+import pytest
+
+from repro.experiments import common, fig2, table1, table2
+
+
+class TestCommonHelpers:
+    def test_improvement_pct(self):
+        assert common.improvement_pct(100.0, 80.0) == pytest.approx(20.0)
+        assert common.improvement_pct(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_improvement_requires_positive_baseline(self):
+        with pytest.raises(ValueError):
+            common.improvement_pct(0.0, 1.0)
+
+    def test_ratio_zero_guard(self):
+        assert common.ratio(5.0, 0.0) == float("inf")
+        assert common.ratio(0.0, 0.0) == 1.0
+
+    def test_topologies(self):
+        assert common.worker_topology().n == 8
+        assert common.probe_topology().n == 8
+        assert common.probe_topology(("us-east-1", "eu-west-1")).n == 2
+
+
+class TestTable2:
+    def test_run_and_render(self):
+        results = table2.run()
+        assert set(results["monitoring_usd"]) == {4, 6, 8}
+        assert results["savings_pct"] > 80.0
+        text = table2.render(results)
+        assert "Table 2" in text
+
+    def test_monitoring_close_to_paper(self):
+        results = table2.run()
+        for n, paper in results["paper_monitoring_usd"].items():
+            assert abs(results["monitoring_usd"][n] - paper) / paper < 0.10
+
+
+class TestTable1:
+    def test_run_produces_counts(self):
+        results = table1.run()
+        assert len(results["counts"]) == 3
+        assert results["n_links"] == 56
+        assert results["total_significant"] >= 0
+        assert "Table 1" in table1.render(results)
+
+
+class TestFig2:
+    def test_manual_plan_budget(self):
+        plan = fig2.manual_hetero_plan()
+        assert int(plan.off_diagonal().sum()) == fig2.TOTAL_CONNECTIONS
+
+    def test_run_shape(self):
+        results = fig2.run()
+        assert results["min_single"] == pytest.approx(121, rel=0.25)
+        assert results["min_hetero"] > results["min_uniform"]
+        assert "Fig. 2" in fig2.render(results)
+
+
+class TestRenderContracts:
+    """Render functions must format canned results without running the
+    (expensive) experiments — catches drift between run() return keys
+    and render() expectations."""
+
+    def test_profiles_ablation_render(self):
+        from repro.experiments import profiles_ablation
+
+        canned = {
+            "rows": [
+                {
+                    "profile": "vpc-peering",
+                    "train_accuracy_pct": 98.0,
+                    "single_min_bw": 90.0,
+                    "wanify_min_bw": 700.0,
+                    "uplift": 7.8,
+                },
+            ]
+        }
+        text = profiles_ablation.render(canned)
+        assert "vpc-peering" in text
+        assert "7.8x" in text
+
+    def test_iridium_render(self):
+        from repro.experiments import iridium_baseline
+
+        row = {
+            "base_jct_min": 28.0,
+            "base_migration_mb": 17000.0,
+            "pred_migration_mb": 13000.0,
+            "pred_perf": 3.7,
+            "pred_cost": 2.4,
+            "full_perf": 4.0,
+            "full_cost": 2.4,
+            "min_bw_ratio": 5.0,
+        }
+        canned = {"rows": {95: dict(row), 78: dict(row)}}
+        text = iridium_baseline.render(canned)
+        assert "Iridium" in text
+        assert "Kimchi" in text  # the comparative finding line
+
+    def test_fig5_render_includes_every_variant(self):
+        from repro.experiments import fig5
+
+        variants = {
+            key: {
+                "label": fig5.VARIANT_LABELS[key],
+                "jct_min": 30.0,
+                "network_min": 5.0,
+                "cost_usd": 7.0,
+                "min_bw_mbps": 100.0,
+            }
+            for key in fig5.VARIANT_LABELS
+        }
+        canned = {
+            "variants": variants,
+            "tc_latency_gain_pct": 15.0,
+            "tc_min_bw_ratio": 1.8,
+            "p_gain_pct": 1.0,
+            "dynamic_gain_pct": 15.0,
+            "p_is_marginal": True,
+            "paper_tc_minutes": 61.0,
+            "paper_tc_min_bw": 790.0,
+        }
+        text = fig5.render(canned)
+        for label in fig5.VARIANT_LABELS.values():
+            assert label in text
+
+
+class TestIridiumSkewedInput:
+    def test_skew_sums_to_input(self):
+        from repro.experiments import iridium_baseline
+
+        data = iridium_baseline.skewed_input()
+        assert sum(data.values()) == pytest.approx(
+            iridium_baseline.INPUT_MB
+        )
+        assert (
+            data[iridium_baseline.HEAVY_DC]
+            == pytest.approx(
+                iridium_baseline.INPUT_MB * iridium_baseline.SKEW_FRACTION
+            )
+        )

@@ -1,0 +1,120 @@
+"""Tests for job/stage specs and cost accounting."""
+
+import pytest
+
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.cost import CostBreakdown, job_cost
+from repro.gda.engine.dag import JobSpec, StageSpec
+from repro.gda.workloads.terasort import terasort_job
+from repro.gda.workloads.tpcds import TPCDS_QUERIES, tpcds_job
+from repro.gda.workloads.wordcount import wordcount_job
+
+INPUT = {"us-east-1": 500.0, "eu-west-1": 500.0}
+
+
+class TestSpecs:
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            StageSpec("bad", cpu_s_per_mb=-1.0, output_ratio=1.0)
+        with pytest.raises(ValueError):
+            StageSpec("bad", cpu_s_per_mb=1.0, output_ratio=-1.0)
+
+    def test_job_needs_stages(self):
+        with pytest.raises(ValueError, match="no stages"):
+            JobSpec("empty", [], INPUT)
+
+    def test_first_stage_cannot_shuffle(self):
+        with pytest.raises(ValueError, match="first stage"):
+            JobSpec(
+                "bad",
+                [StageSpec("s", 0.1, 1.0, shuffle=True)],
+                INPUT,
+            )
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValueError, match="negative input"):
+            JobSpec(
+                "bad",
+                [StageSpec("s", 0.1, 1.0)],
+                {"us-east-1": -5.0},
+            )
+
+    def test_intermediate_volume_terasort(self):
+        job = terasort_job(INPUT)
+        # TeraSort's shuffle equals its input.
+        assert job.intermediate_mb() == pytest.approx(1000.0)
+
+    def test_intermediate_volume_wordcount(self):
+        job = wordcount_job(INPUT, intermediate_mb=50.0)
+        assert job.intermediate_mb() == pytest.approx(50.0)
+
+    def test_tpcds_queries_defined(self):
+        assert set(TPCDS_QUERIES) == {82, 95, 11, 78}
+        for query in TPCDS_QUERIES:
+            job = tpcds_job(query, INPUT)
+            assert job.shuffle_stages()
+
+    def test_tpcds_unknown_query(self):
+        with pytest.raises(KeyError, match="unsupported query"):
+            tpcds_job(99, INPUT)
+
+    def test_heavy_query_shuffles_most(self):
+        light = tpcds_job(82, INPUT).intermediate_mb()
+        heavy = tpcds_job(78, INPUT).intermediate_mb()
+        assert heavy > 5 * light
+
+
+class TestCost:
+    def test_components_positive(self):
+        cluster = GeoCluster.build(("us-east-1", "eu-west-1"))
+        cost = job_cost(cluster, 3600.0, 8.0 * 1024 * 10, 1000.0)
+        assert cost.compute_usd > 0
+        assert cost.network_usd == pytest.approx(10 * 0.02, rel=0.01)
+        assert cost.storage_usd > 0
+        assert cost.total_usd == pytest.approx(
+            cost.compute_usd + cost.network_usd + cost.storage_usd
+        )
+
+    def test_compute_scales_with_jct(self):
+        cluster = GeoCluster.build(("us-east-1", "eu-west-1"))
+        short = job_cost(cluster, 600.0, 0.0, 0.0)
+        long = job_cost(cluster, 1200.0, 0.0, 0.0)
+        assert long.compute_usd == pytest.approx(2 * short.compute_usd)
+
+    def test_negative_jct_rejected(self):
+        cluster = GeoCluster.build(("us-east-1",))
+        with pytest.raises(ValueError):
+            job_cost(cluster, -1.0, 0.0, 0.0)
+
+    def test_cost_addition(self):
+        a = CostBreakdown(1.0, 2.0, 3.0)
+        b = CostBreakdown(0.5, 0.5, 0.5)
+        total = a + b
+        assert total.total_usd == pytest.approx(7.5)
+
+
+class TestCluster:
+    def test_slots_and_speed(self):
+        cluster = GeoCluster.build(
+            ("us-east-1", "eu-west-1"), "t2.medium", {"us-east-1": 2}
+        )
+        assert cluster.slots("us-east-1") == 4
+        assert cluster.slots("eu-west-1") == 2
+        assert cluster.speed("us-east-1") == 1.0
+
+    def test_compute_seconds(self):
+        cluster = GeoCluster.build(("us-east-1",), "t2.medium")
+        # 100 MB at 0.2 cpu-s/MB over 2 slots → 10 s.
+        assert cluster.compute_seconds(
+            "us-east-1", 100.0, 0.2
+        ) == pytest.approx(10.0)
+
+    def test_zero_volume_zero_time(self):
+        cluster = GeoCluster.build(("us-east-1",))
+        assert cluster.compute_seconds("us-east-1", 0.0, 1.0) == 0.0
+
+    def test_total_vms(self):
+        cluster = GeoCluster.build(
+            ("us-east-1", "eu-west-1"), vms_per_dc={"us-east-1": 3}
+        )
+        assert cluster.total_vms() == 4

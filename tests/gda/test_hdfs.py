@@ -1,0 +1,108 @@
+"""Tests for the HDFS-like block store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gda.engine.hdfs import HdfsStore
+
+KEYS = ("a", "b", "c", "d")
+
+
+class TestPlacement:
+    def test_uniform_splits_evenly(self):
+        store = HdfsStore.uniform(KEYS, 4096.0, block_size_mb=128.0)
+        data = store.data_by_dc()
+        assert all(mb == pytest.approx(1024.0) for mb in data.values())
+        assert store.total_mb == pytest.approx(4096.0)
+
+    def test_weighted_placement(self):
+        store = HdfsStore.weighted(
+            KEYS, 1000.0, {"a": 3, "b": 1, "c": 1, "d": 0}
+        )
+        data = store.data_by_dc()
+        assert data["a"] == pytest.approx(600.0)
+        assert data.get("d", 0.0) == 0.0
+
+    def test_block_size_respected(self):
+        store = HdfsStore.uniform(KEYS, 1000.0, block_size_mb=64.0)
+        sizes = {b.size_mb for b in store.blocks}
+        assert all(s <= 64.0 for s in sizes)
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(ValueError):
+            HdfsStore.uniform(KEYS, 0.0)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            HdfsStore.weighted(KEYS, 100.0, {k: 0.0 for k in KEYS})
+
+
+class TestMove:
+    def test_move_relocates_volume(self):
+        store = HdfsStore.uniform(KEYS, 4096.0)
+        moved = store.move("a", "b", 512.0)
+        assert moved == pytest.approx(512.0)
+        data = store.data_by_dc()
+        assert data["a"] == pytest.approx(512.0)
+        assert data["b"] == pytest.approx(1536.0)
+        assert store.total_mb == pytest.approx(4096.0)
+
+    def test_move_splits_partial_blocks(self):
+        store = HdfsStore.uniform(KEYS, 4096.0, block_size_mb=128.0)
+        moved = store.move("a", "b", 100.0)
+        assert moved == pytest.approx(100.0)
+
+    def test_move_capped_at_available(self):
+        store = HdfsStore.uniform(KEYS, 400.0)
+        moved = store.move("a", "b", 1e6)
+        assert moved == pytest.approx(100.0)
+
+    def test_move_zero_is_noop(self):
+        store = HdfsStore.uniform(KEYS, 400.0)
+        assert store.move("a", "b", 0.0) == 0.0
+
+
+class TestSkew:
+    def test_skew_concentrates_data(self):
+        store = HdfsStore.uniform(KEYS, 4096.0, block_size_mb=64.0)
+        dist = store.skew_to(["a", "b"], fraction=0.8)
+        heavy = dist["a"] + dist["b"]
+        assert heavy / store.total_mb > 0.7
+
+    def test_skew_preserves_total(self):
+        store = HdfsStore.uniform(KEYS, 4096.0, block_size_mb=64.0)
+        store.skew_to(["a"], fraction=0.9)
+        assert store.total_mb == pytest.approx(4096.0)
+
+    def test_invalid_fraction_rejected(self):
+        store = HdfsStore.uniform(KEYS, 400.0)
+        with pytest.raises(ValueError):
+            store.skew_to(["a"], fraction=1.5)
+
+    def test_no_targets_rejected(self):
+        store = HdfsStore.uniform(KEYS, 400.0)
+        with pytest.raises(ValueError):
+            store.skew_to([], fraction=0.5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=10.0, max_value=1e5),
+    st.floats(min_value=1.0, max_value=512.0),
+)
+def test_uniform_total_preserved(total, block):
+    store = HdfsStore.uniform(KEYS, total, block_size_mb=block)
+    assert store.total_mb == pytest.approx(total, rel=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=1.0, max_value=1000.0),
+    st.floats(min_value=0.0, max_value=2000.0),
+)
+def test_move_conserves_mass(total, amount):
+    store = HdfsStore.uniform(KEYS, total)
+    before = store.total_mb
+    store.move("a", "c", amount)
+    assert store.total_mb == pytest.approx(before, rel=1e-9)

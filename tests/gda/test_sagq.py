@@ -1,0 +1,85 @@
+"""Tests for the SAGQ quantized geo-ML trainer."""
+
+import pytest
+
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.systems.sagq import (
+    FULL_BITS,
+    MLModelSpec,
+    SagqTrainer,
+    bits_for_bw,
+)
+from repro.net.dynamics import StaticModel
+from repro.net.matrix import BandwidthMatrix
+
+TRIAD = ("us-east-1", "us-west-1", "ap-southeast-1")
+
+
+def make_trainer(epochs=2) -> SagqTrainer:
+    cluster = GeoCluster.build(TRIAD, "t2.medium", fluctuation=StaticModel())
+    model = MLModelSpec(sync_mb_per_pair=100.0, compute_s_per_epoch=30.0)
+    return SagqTrainer(cluster, model, epochs=epochs)
+
+
+class TestQuantization:
+    def test_bits_ladder_monotone(self):
+        bws = [50, 130, 400, 900, 2000]
+        bits = [bits_for_bw(b) for b in bws]
+        assert bits == sorted(bits)
+        assert bits[0] == 4
+        assert bits[-1] == FULL_BITS
+
+    def test_payload_scales_with_bits(self):
+        model = MLModelSpec(sync_mb_per_pair=128.0)
+        assert model.payload_mb(32) == pytest.approx(128.0)
+        assert model.payload_mb(8) == pytest.approx(32.0)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            MLModelSpec().payload_mb(0)
+
+    def test_bits_matrix_from_decision_bw(self):
+        trainer = make_trainer()
+        bw = BandwidthMatrix.full(TRIAD, 1000.0)
+        bw.set("us-east-1", "ap-southeast-1", 100.0)
+        bits = trainer.bits_matrix(bw)
+        assert bits[("us-east-1", "us-west-1")] == FULL_BITS
+        assert bits[("us-east-1", "ap-southeast-1")] == 4
+
+    def test_none_bw_means_full_precision(self):
+        trainer = make_trainer()
+        bits = trainer.bits_matrix(None)
+        assert set(bits.values()) == {FULL_BITS}
+
+
+class TestTraining:
+    def test_noq_slower_than_quantized(self):
+        noq = make_trainer().run("NoQ", decision_bw=None)
+        bw = BandwidthMatrix.full(TRIAD, 50.0)  # all links weak → 4 bits
+        quant = make_trainer().run("Q", decision_bw=bw)
+        assert quant.total_s < noq.total_s
+        assert quant.network_s < noq.network_s
+        assert quant.compute_s == pytest.approx(noq.compute_s)
+
+    def test_epoch_structure(self):
+        result = make_trainer(epochs=3).run("NoQ")
+        assert result.epochs == 3
+        assert result.total_s == pytest.approx(
+            result.compute_s + result.network_s, rel=0.01
+        )
+
+    def test_cost_positive_and_accuracy_constant(self):
+        result = make_trainer().run("NoQ")
+        assert result.cost.total_usd > 0
+        assert result.test_accuracy == pytest.approx(0.97)
+
+    def test_invalid_epochs_rejected(self):
+        cluster = GeoCluster.build(TRIAD)
+        with pytest.raises(ValueError):
+            SagqTrainer(cluster, MLModelSpec(), epochs=0)
+
+    def test_quantized_network_cost_lower(self):
+        noq = make_trainer().run("NoQ")
+        bw = BandwidthMatrix.full(TRIAD, 50.0)
+        quant = make_trainer().run("Q", decision_bw=bw)
+        assert quant.cost.network_usd < noq.cost.network_usd

@@ -1,0 +1,94 @@
+"""Integration test for model-staleness handling (§3.3.4).
+
+Simulates model drift by evaluating a predictor trained on one
+infrastructure (t2.medium workers) against an upgraded one (m5.large,
+with a 10 Gbps NIC and hence a very different snapshot→runtime mapping):
+the error tracker must latch the retraining flag, and a warm-start
+retrain on freshly collected data must restore accuracy.
+
+Note that merely *noisier weather* is not drift for this model — the RF
+predicts from real-time snapshots, so it generalizes across fluctuation
+regimes (that is the paper's central claim, verified in
+``tests/core/test_predictor_dataset.py``).  Drift requires the mapping
+itself to change, e.g. a provider/VM-class change.
+"""
+
+import pytest
+
+from repro.core.dataset import build_training_set
+from repro.core.predictor import WanPredictionModel
+from repro.net.dynamics import FluctuationModel
+from repro.net.measurement import snapshot, stable_runtime
+from repro.net.topology import Topology
+
+REGIONS = ("us-east-1", "us-west-1", "eu-west-1", "ap-southeast-1")
+
+
+@pytest.fixture(scope="module")
+def drift_setup():
+    old_topology = Topology.build(REGIONS, "t2.medium")
+    # The "new" infrastructure swaps every worker for an m5.large whose
+    # usable WAN capacity is ~4x the t2.medium's; nearby-pair runtime
+    # BWs move far outside the training hull.
+    new_topology = Topology.build(REGIONS, "m5.large")
+    weather = FluctuationModel(seed=1, sigma=0.08)
+    training = build_training_set(
+        old_topology, weather, n_datasets=15, seed=2
+    )
+    model = WanPredictionModel(
+        n_estimators=12, error_window=4, error_threshold_mbps=100.0
+    ).fit(training)
+    return old_topology, new_topology, weather, model
+
+
+class TestDriftDetection:
+    def test_flag_latches_under_drift(self, drift_setup):
+        _, new_topology, weather, model = drift_setup
+        for i in range(6):
+            at = 1e5 + i * 900.0
+            snap = snapshot(new_topology, weather, at_time=at)
+            predicted = model.predict_matrix(snap, new_topology)
+            actual = stable_runtime(
+                new_topology, weather, at_time=at
+            ).matrix
+            model.track_error(predicted, actual)
+        assert model.needs_retraining
+
+    def test_no_false_alarm_without_drift(self, drift_setup):
+        """On the training infrastructure the flag must stay clear, even
+        under a different (unseen) fluctuation seed."""
+        old_topology, _, _, model = drift_setup
+        probe = WanPredictionModel(
+            n_estimators=12, error_window=4, error_threshold_mbps=100.0
+        )
+        probe.forest = model.forest
+        probe._train_accuracy = model._train_accuracy
+        unseen = FluctuationModel(seed=777, sigma=0.08)
+        for i in range(6):
+            at = 3e5 + i * 900.0
+            snap = snapshot(old_topology, unseen, at_time=at)
+            predicted = probe.predict_matrix(snap, old_topology)
+            actual = stable_runtime(
+                old_topology, unseen, at_time=at
+            ).matrix
+            probe.track_error(predicted, actual)
+        assert not probe.needs_retraining
+
+    def test_warm_start_retrain_restores_accuracy(self, drift_setup):
+        _, new_topology, weather, model = drift_setup
+        # Collect fresh data under the new regime and retrain.
+        fresh = build_training_set(
+            new_topology, weather, n_datasets=15, seed=5
+        )
+        trees_before = len(model.forest.trees)
+        model.retrain(fresh, extra_estimators=12)
+        assert len(model.forest.trees) == trees_before + 12
+        assert not model.needs_retraining
+
+        # Post-retrain predictions are usable under the new regime.
+        at = 2e5
+        snap = snapshot(new_topology, weather, at_time=at)
+        predicted = model.predict_matrix(snap, new_topology)
+        actual = stable_runtime(new_topology, weather, at_time=at).matrix
+        err = model.track_error(predicted, actual)
+        assert err < 200.0

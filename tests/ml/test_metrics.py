@@ -1,0 +1,87 @@
+"""Tests for regression metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    fraction_within,
+    mae,
+    mape,
+    r2_score,
+    rmse,
+    training_accuracy,
+)
+
+Y = np.array([100.0, 200.0, 300.0])
+
+
+class TestPointMetrics:
+    def test_perfect_predictions(self):
+        assert mae(Y, Y) == 0.0
+        assert rmse(Y, Y) == 0.0
+        assert mape(Y, Y) == 0.0
+        assert r2_score(Y, Y) == 1.0
+        assert training_accuracy(Y, Y) == 100.0
+        assert fraction_within(Y, Y, 0.0) == 1.0
+
+    def test_mae_known_value(self):
+        assert mae(Y, Y + 10) == pytest.approx(10.0)
+
+    def test_rmse_ge_mae(self):
+        pred = Y + np.array([0.0, 0.0, 30.0])
+        assert rmse(Y, pred) >= mae(Y, pred)
+
+    def test_mape_relative(self):
+        assert mape(Y, Y * 1.1) == pytest.approx(0.1)
+
+    def test_mape_ignores_zero_targets(self):
+        y = np.array([0.0, 100.0])
+        assert mape(y, np.array([5.0, 110.0])) == pytest.approx(0.1)
+
+    def test_mape_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            mape(np.zeros(3), np.ones(3))
+
+    def test_r2_of_mean_predictor_is_zero(self):
+        pred = np.full_like(Y, Y.mean())
+        assert r2_score(Y, pred) == pytest.approx(0.0)
+
+    def test_fraction_within_threshold(self):
+        pred = Y + np.array([50.0, 150.0, 99.0])
+        assert fraction_within(Y, pred, 100.0) == pytest.approx(2 / 3)
+
+    def test_training_accuracy_clipped(self):
+        assert training_accuracy(Y, Y * 10) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mae(Y, Y[:2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mae(np.array([]), np.array([]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_r2_at_most_one(seed):
+    rng = np.random.default_rng(seed)
+    y = rng.normal(size=20)
+    pred = rng.normal(size=20)
+    assert r2_score(y, pred) <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=1000.0),
+    st.integers(min_value=0, max_value=100),
+)
+def test_fraction_within_monotone_in_threshold(threshold, seed):
+    rng = np.random.default_rng(seed)
+    y = rng.normal(size=20) * 100
+    pred = y + rng.normal(size=20) * 100
+    assert fraction_within(y, pred, threshold) <= fraction_within(
+        y, pred, threshold + 100.0
+    )

@@ -1,0 +1,69 @@
+"""Tests for the MLP regressor (the §3.1 comparison baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.mlp import MLPRegressor
+
+
+def linear_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-2, 2, size=(n, 3))
+    y = 4 * X[:, 0] - 3 * X[:, 1] + 0.5 * X[:, 2]
+    return X, y
+
+
+class TestFit:
+    def test_learns_linear_function(self):
+        X, y = linear_data()
+        mlp = MLPRegressor(epochs=150, random_state=1).fit(X, y)
+        assert mlp.score(X, y) > 0.95
+
+    def test_deterministic_given_seed(self):
+        X, y = linear_data(n=100)
+        a = MLPRegressor(epochs=30, random_state=3).fit(X, y)
+        b = MLPRegressor(epochs=30, random_state=3).fit(X, y)
+        assert a.predict(X) == pytest.approx(b.predict(X))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPRegressor().predict(np.zeros((1, 3)))
+
+    def test_wrong_width_rejected(self):
+        X, y = linear_data(n=50)
+        mlp = MLPRegressor(epochs=10).fit(X, y)
+        with pytest.raises(ValueError):
+            mlp.predict(np.zeros((2, 7)))
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            MLPRegressor().fit(np.empty((0, 3)), np.empty(0))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MLPRegressor().fit(np.zeros((5, 3)), np.zeros(4))
+
+    def test_constant_features_handled(self):
+        X = np.ones((50, 2))
+        X[:, 1] = np.arange(50)
+        y = X[:, 1] * 2.0
+        mlp = MLPRegressor(epochs=100, random_state=2).fit(X, y)
+        assert mlp.score(X, y) > 0.9
+
+
+class TestVersusForest:
+    def test_forest_beats_mlp_on_small_tabular_data(self):
+        """The §3.1 claim: on paper-scale BW datasets the RF wins."""
+        from repro.ml.forest import RandomForestRegressor
+
+        rng = np.random.default_rng(7)
+        # Small, jagged tabular target (like BW levels): RF's home turf.
+        X = rng.uniform(0, 1, size=(150, 6))
+        y = np.where(X[:, 1] > 0.5, 800.0, 120.0) + np.where(
+            X[:, 5] > 0.7, 300.0, 0.0
+        ) + rng.normal(0, 20, size=150)
+        forest = RandomForestRegressor(
+            n_estimators=30, random_state=1
+        ).fit(X, y)
+        mlp = MLPRegressor(epochs=120, random_state=1).fit(X, y)
+        assert forest.score(X, y) > mlp.score(X, y)

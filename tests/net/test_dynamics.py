@@ -1,0 +1,88 @@
+"""Tests for the fluctuation models."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.dynamics import FluctuationModel, StaticModel
+
+
+class TestDeterminism:
+    def test_same_seed_same_factors(self):
+        a = FluctuationModel(seed=5)
+        b = FluctuationModel(seed=5)
+        for t in (0.0, 100.0, 12345.6):
+            assert a.factor(0, 1, t) == b.factor(0, 1, t)
+
+    def test_different_seeds_differ(self):
+        a = FluctuationModel(seed=5)
+        b = FluctuationModel(seed=6)
+        samples_a = [a.factor(0, 1, t) for t in range(0, 10000, 500)]
+        samples_b = [b.factor(0, 1, t) for t in range(0, 10000, 500)]
+        assert samples_a != samples_b
+
+    def test_links_are_independent(self):
+        m = FluctuationModel(seed=5)
+        samples_01 = [m.factor(0, 1, t) for t in range(0, 10000, 500)]
+        samples_12 = [m.factor(1, 2, t) for t in range(0, 10000, 500)]
+        assert samples_01 != samples_12
+
+
+class TestShape:
+    def test_mean_near_one(self):
+        m = FluctuationModel(seed=7)
+        samples = [
+            m.factor(0, 1, t) for t in np.linspace(0, 7 * 86400, 2000)
+        ]
+        assert 0.9 < np.mean(samples) < 1.1
+
+    def test_bounded_by_floor_and_ceiling(self):
+        m = FluctuationModel(seed=7, sigma=1.0)  # violent weather
+        for t in np.linspace(0, 86400, 500):
+            f = m.factor(0, 1, t)
+            assert m.floor <= f <= m.ceiling
+
+    def test_intra_dc_unaffected(self):
+        m = FluctuationModel(seed=7)
+        assert m.factor(2, 2, 1234.0) == 1.0
+
+    def test_continuity_within_grid_cell(self):
+        # Linear interpolation: nearby times give nearby factors.
+        m = FluctuationModel(seed=7)
+        f1 = m.factor(0, 1, 1000.0)
+        f2 = m.factor(0, 1, 1001.0)
+        assert abs(f1 - f2) < 0.05
+
+    def test_weather_persists_within_noise_period(self):
+        # [38]: predictable on the scale of minutes.
+        m = FluctuationModel(seed=7)
+        f0 = m.factor(0, 1, 600.0)
+        f1 = m.factor(0, 1, 600.0 + m.noise_period_s / 10)
+        assert abs(f0 - f1) < 0.15
+
+
+class TestSnapshotJitter:
+    def test_long_windows_have_no_jitter(self):
+        m = FluctuationModel(seed=7)
+        assert m.snapshot_jitter(0, 1, 50.0, 20.0) == 1.0
+
+    def test_short_windows_jitter(self):
+        m = FluctuationModel(seed=7)
+        jitters = {
+            m.snapshot_jitter(0, 1, t, 1.0) for t in np.linspace(0, 100, 50)
+        }
+        assert len(jitters) > 10  # actually varies
+        assert all(0.5 <= j <= 1.5 for j in jitters)
+
+
+class TestStaticModel:
+    @given(
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=10),
+        st.floats(min_value=0, max_value=1e6),
+    )
+    def test_always_one(self, i, j, t):
+        m = StaticModel()
+        assert m.factor(i, j, t) == 1.0
+        assert m.snapshot_jitter(i, j, t, 1.0) == 1.0

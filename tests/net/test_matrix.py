@@ -1,0 +1,102 @@
+"""Tests for BandwidthMatrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.matrix import BandwidthMatrix
+
+KEYS = ("a", "b", "c")
+
+
+def matrix_from(values) -> BandwidthMatrix:
+    return BandwidthMatrix(KEYS, np.array(values, dtype=float))
+
+
+class TestBasics:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="does not match"):
+            BandwidthMatrix(KEYS, np.zeros((2, 2)))
+
+    def test_get_set_roundtrip(self):
+        m = BandwidthMatrix.zeros(KEYS)
+        m.set("a", "b", 42.0)
+        assert m.get("a", "b") == 42.0
+        assert m.get("b", "a") == 0.0
+
+    def test_unknown_key_raises(self):
+        m = BandwidthMatrix.zeros(KEYS)
+        with pytest.raises(KeyError, match="unknown DC"):
+            m.get("a", "zz")
+
+    def test_min_max_exclude_diagonal(self):
+        m = matrix_from([[999, 10, 20], [30, 999, 40], [50, 60, 999]])
+        assert m.min_bw() == 10
+        assert m.max_bw() == 60
+
+    def test_mean_excludes_diagonal(self):
+        m = matrix_from([[999, 2, 2], [2, 999, 2], [2, 2, 999]])
+        assert m.mean_bw() == 2.0
+
+    def test_pairs_are_all_ordered_offdiagonal(self):
+        m = BandwidthMatrix.zeros(KEYS)
+        pairs = list(m.pairs())
+        assert len(pairs) == 6
+        assert ("a", "a") not in pairs
+
+    def test_subset_preserves_values(self):
+        m = matrix_from([[0, 1, 2], [3, 0, 4], [5, 6, 0]])
+        s = m.subset(("c", "a"))
+        assert s.keys == ("c", "a")
+        assert s.get("c", "a") == 5
+        assert s.get("a", "c") == 2
+
+    def test_copy_is_deep(self):
+        m = BandwidthMatrix.zeros(KEYS)
+        c = m.copy()
+        c.set("a", "b", 7.0)
+        assert m.get("a", "b") == 0.0
+
+    def test_full_constructor(self):
+        m = BandwidthMatrix.full(KEYS, 5.0)
+        assert m.min_bw() == 5.0
+        assert m.max_bw() == 5.0
+
+    def test_to_table_contains_keys(self):
+        table = BandwidthMatrix.full(KEYS, 1.0).to_table()
+        for key in KEYS:
+            assert key in table
+
+
+class TestSignificantDifferences:
+    def test_counts_threshold_exceeders(self):
+        a = BandwidthMatrix.full(KEYS, 200.0)
+        b = BandwidthMatrix.full(KEYS, 200.0)
+        b.set("a", "b", 350.0)  # delta 150 > 100
+        b.set("b", "c", 280.0)  # delta 80 < 100
+        diffs = a.significant_differences(b)
+        assert len(diffs) == 1
+        assert diffs[0][:2] == ("a", "b")
+
+    def test_reorders_other_keys(self):
+        a = BandwidthMatrix.full(KEYS, 100.0)
+        b = BandwidthMatrix.full(("c", "b", "a"), 100.0)
+        assert a.significant_differences(b) == []
+
+    @given(st.floats(min_value=0, max_value=1e4))
+    def test_self_comparison_never_significant(self, value):
+        m = BandwidthMatrix.full(KEYS, value)
+        assert m.significant_differences(m) == []
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e5),
+        min_size=9,
+        max_size=9,
+    )
+)
+def test_min_le_mean_le_max(values):
+    m = matrix_from(np.array(values).reshape(3, 3))
+    assert m.min_bw() <= m.mean_bw() <= m.max_bw()

@@ -1,0 +1,116 @@
+"""Tests for the iPerf-like measurement layer."""
+
+import pytest
+
+from repro.net.measurement import (
+    MeasurementReport,
+    measure_independent,
+    measure_simultaneous,
+    snapshot,
+    stable_runtime,
+)
+
+
+class TestIndependent:
+    def test_matches_single_connection_caps(self, triad, calm):
+        report = measure_independent(triad, calm)
+        for src, dst in report.matrix.pairs():
+            cap = triad.single_connection_cap(src, dst)
+            assert report.matrix.get(src, dst) == pytest.approx(
+                cap, rel=0.05
+            )
+
+    def test_cost_accounts_probe_pairs(self, triad, calm):
+        report = measure_independent(triad, calm)
+        # 6 ordered pairs × 2 VMs × 20 s.
+        assert report.cost.instance_seconds == pytest.approx(240.0)
+        assert report.cost.dollars > 0
+
+
+class TestSimultaneous:
+    def test_contention_lowers_all_rates(self, triad, calm):
+        independent = measure_independent(triad, calm).matrix
+        simultaneous = measure_simultaneous(triad, calm).matrix
+        for src, dst in independent.pairs():
+            assert (
+                simultaneous.get(src, dst)
+                <= independent.get(src, dst) * 1.05
+            )
+
+    def test_mesh_cheaper_than_sequential_probing(self, triad, calm):
+        ind = measure_independent(triad, calm)
+        sim = measure_simultaneous(triad, calm)
+        assert sim.cost.instance_seconds < ind.cost.instance_seconds
+
+    def test_aux_features_populated(self, triad, calm):
+        report = measure_simultaneous(triad, calm)
+        assert set(report.memory_util) == set(triad.keys)
+        assert set(report.cpu_load) == set(triad.keys)
+        assert len(report.retransmissions) == 6
+        assert all(0 <= v <= 1 for v in report.memory_util.values())
+
+    def test_connection_matrix_accepted(self, triad, calm):
+        from repro.net.matrix import BandwidthMatrix
+
+        counts = BandwidthMatrix.full(triad.keys, 1.0)
+        counts.set("us-east-1", "ap-southeast-1", 8)
+        report = measure_simultaneous(triad, calm, connections=counts)
+        single = measure_simultaneous(triad, calm, connections=1)
+        assert report.matrix.get(
+            "us-east-1", "ap-southeast-1"
+        ) > single.matrix.get("us-east-1", "ap-southeast-1")
+
+
+class TestSnapshot:
+    def test_snapshot_is_one_second(self, triad, weather):
+        report = snapshot(triad, weather, at_time=100.0)
+        assert report.window_s == 1.0
+        assert report.mode == "snapshot"
+
+    def test_snapshot_correlates_with_stable(self, full_topology, weather):
+        import numpy as np
+
+        snap = snapshot(full_topology, weather, at_time=500.0)
+        stable = stable_runtime(full_topology, weather, at_time=500.0)
+        corr = np.corrcoef(
+            snap.matrix.off_diagonal(), stable.matrix.off_diagonal()
+        )[0, 1]
+        # §2.2: positive Pearson correlation between snapshots and
+        # stable runtime BWs.
+        assert corr > 0.7
+
+    def test_snapshot_noisier_than_stable(self, triad, weather):
+        # Snapshots at nearby instants vary more than stable windows.
+        snaps = [
+            snapshot(triad, weather, at_time=t).matrix.get(
+                "us-east-1", "us-west-1"
+            )
+            for t in (100.0, 101.0, 102.0)
+        ]
+        stables = [
+            stable_runtime(triad, weather, at_time=t).matrix.get(
+                "us-east-1", "us-west-1"
+            )
+            for t in (100.0, 101.0, 102.0)
+        ]
+        import numpy as np
+
+        assert np.std(snaps) >= np.std(stables)
+
+    def test_snapshot_cheaper_than_stable(self, triad, calm):
+        snap = snapshot(triad, calm)
+        stable = stable_runtime(triad, calm)
+        assert snap.cost.dollars < stable.cost.dollars / 5
+
+
+class TestStableRuntime:
+    def test_mode_label(self, triad, calm):
+        assert stable_runtime(triad, calm).mode == "stable_runtime"
+
+    def test_deterministic_given_seed_and_time(self, triad, weather):
+        a = stable_runtime(triad, weather, at_time=777.0)
+        b = stable_runtime(triad, weather, at_time=777.0)
+        assert (a.matrix.values == b.matrix.values).all()
+
+    def test_report_type(self, triad, calm):
+        assert isinstance(stable_runtime(triad, calm), MeasurementReport)

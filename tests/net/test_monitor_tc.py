@@ -1,0 +1,85 @@
+"""Tests for WanMonitor and TrafficController."""
+
+import pytest
+
+from repro.net.monitor import WanMonitor
+from repro.net.simulator import NetworkSimulator
+from repro.net.traffic_control import TrafficController
+
+
+class TestWanMonitor:
+    def test_samples_outgoing_rates(self, triad, calm):
+        net = NetworkSimulator(triad, fluctuation=calm)
+        monitor = WanMonitor(net, "us-east-1", interval_s=1.0)
+        net.start_transfer("us-east-1", "us-west-1", 1e6)
+        net.sim.run(until=3.5)
+        assert len(monitor.samples) == 3
+        assert monitor.latest_rate("us-west-1") > 0
+        assert monitor.latest_rate("ap-southeast-1") == 0.0
+
+    def test_latest_empty_before_first_tick(self, triad, calm):
+        net = NetworkSimulator(triad, fluctuation=calm)
+        monitor = WanMonitor(net, "us-east-1", interval_s=5.0)
+        assert monitor.latest() == {}
+        assert monitor.latest_rate("us-west-1") == 0.0
+
+    def test_window_volume_tracks_increments(self, triad, calm):
+        net = NetworkSimulator(triad, fluctuation=calm)
+        monitor = WanMonitor(net, "us-east-1", interval_s=1.0)
+        net.start_transfer("us-east-1", "us-west-1", 800.0)  # 100 MB
+        net.sim.run()
+        first = monitor.window_volume_mb("us-west-1")
+        assert first == pytest.approx(100.0, rel=0.02)
+        # Second read with no new traffic → ~0.
+        assert monitor.window_volume_mb("us-west-1") == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_history_bounded(self, triad, calm):
+        net = NetworkSimulator(triad, fluctuation=calm)
+        monitor = WanMonitor(net, "us-east-1", interval_s=1.0, history=5)
+        net.sim.run(until=20.0)
+        assert len(monitor.samples) == 5
+
+    def test_stop_ends_sampling(self, triad, calm):
+        net = NetworkSimulator(triad, fluctuation=calm)
+        monitor = WanMonitor(net, "us-east-1", interval_s=1.0)
+        net.sim.run(until=2.5)
+        monitor.stop()
+        net.sim.run(until=10.0)
+        assert len(monitor.samples) == 2
+
+
+class TestTrafficController:
+    def test_limit_roundtrip(self):
+        tc = TrafficController()
+        tc.set_limit("a", "b", 100.0)
+        assert tc.limit("a", "b") == 100.0
+        assert tc.limit("b", "a") == float("inf")
+
+    def test_clear_limit(self):
+        tc = TrafficController()
+        tc.set_limit("a", "b", 100.0)
+        tc.clear_limit("a", "b")
+        assert tc.limit("a", "b") == float("inf")
+
+    def test_clear_all(self):
+        tc = TrafficController()
+        tc.set_limit("a", "b", 100.0)
+        tc.set_limit("b", "c", 50.0)
+        tc.clear_all()
+        assert tc.limits() == {}
+
+    def test_invalid_limit_rejected(self):
+        tc = TrafficController()
+        with pytest.raises(ValueError):
+            tc.set_limit("a", "b", 0.0)
+
+    def test_change_notification(self):
+        tc = TrafficController()
+        calls = []
+        tc.bind(lambda: calls.append(1))
+        tc.set_limit("a", "b", 10.0)
+        tc.clear_limit("a", "b")
+        tc.clear_limit("a", "b")  # absent → no notify
+        assert len(calls) == 2

@@ -1,0 +1,224 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import Event, Process, Simulator
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_priority_then_insertion(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("low"), priority=1)
+        sim.schedule(1.0, lambda: fired.append("high"), priority=0)
+        sim.schedule(1.0, lambda: fired.append("low2"), priority=1)
+        sim.run()
+        assert fired == ["high", "low", "low2"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(5.5, lambda: None)
+        sim.run()
+        assert sim.now == 5.5
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_run_until_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+        # Remaining event still pending.
+        assert sim.peek() == 2.0
+
+    def test_step_returns_false_when_drained(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek() == 2.0
+
+
+class TestProcess:
+    def test_periodic_ticks(self):
+        sim = Simulator()
+        ticks = []
+        Process(sim, interval=2.0, body=ticks.append)
+        sim.run(until=7.0)
+        assert ticks == [0.0, 2.0, 4.0, 6.0]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        ticks = []
+        Process(sim, interval=2.0, body=ticks.append, start_delay=1.0)
+        sim.run(until=6.0)
+        assert ticks == [1.0, 3.0, 5.0]
+
+    def test_stop_ends_ticks(self):
+        sim = Simulator()
+        ticks = []
+        process = Process(sim, interval=1.0, body=ticks.append)
+        sim.run(until=2.5)
+        process.stop()
+        sim.run(until=10.0)
+        assert ticks == [0.0, 1.0, 2.0]
+
+    def test_zero_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Process(sim, interval=0.0, body=lambda t: None)
+
+    def test_event_ordering_is_deterministic(self):
+        def run_once():
+            sim = Simulator()
+            out = []
+            for i in range(20):
+                sim.schedule(1.0, lambda i=i: out.append(i))
+            sim.run()
+            return out
+
+        assert run_once() == run_once()
+
+
+class TestDaemonEvents:
+    """Daemon events observe the simulation without keeping it alive."""
+
+    def test_open_ended_run_ignores_pending_daemons(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("work"))
+        sim.schedule(0.5, lambda: fired.append("d"), daemon=True)
+        sim.schedule(99.0, lambda: fired.append("late-d"), daemon=True)
+        sim.run()
+        # The daemon before the work fires; the one after does not.
+        assert fired == ["d", "work"]
+
+    def test_run_with_only_daemons_returns_immediately(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("d"), daemon=True)
+        sim.run()
+        assert fired == []
+        assert sim.now == 0.0
+
+    def test_bounded_run_still_fires_daemons(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("d"), daemon=True)
+        sim.run(until=5.0)
+        assert fired == ["d"]
+        assert sim.now == 5.0
+
+    def test_daemon_periodic_process_does_not_wedge_run(self):
+        sim = Simulator()
+        ticks = []
+        Process(sim, 1.0, ticks.append, start_delay=1.0)  # daemon default
+        sim.schedule(3.5, lambda: None)
+        sim.run()  # would never return if the process kept it alive
+        assert sim.now == 3.5
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_non_daemon_process_keeps_run_alive_until_stopped(self):
+        sim = Simulator()
+        holder = {}
+
+        def body(now):
+            if now >= 3.0:
+                holder["proc"].stop()
+
+        holder["proc"] = Process(
+            sim, 1.0, body, start_delay=1.0, daemon=False
+        )
+        sim.run()
+        assert sim.now == 3.0
+
+    def test_cancelled_work_releases_open_ended_run(self):
+        sim = Simulator()
+        event = sim.schedule(10.0, lambda: None)
+        sim.schedule(1.0, event.cancel)
+        sim.run()
+        assert sim.now == 1.0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(10.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.schedule(1.0, lambda: None)
+        sim.run()  # live count must not go negative and wedge the loop
+        assert sim.now == 1.0
+
+    def test_work_scheduled_by_daemon_still_runs(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("work"))
+
+        def tick(now):
+            if now == 1.0:
+                sim.schedule(0.5, lambda: fired.append("from-daemon"))
+
+        Process(sim, 1.0, tick, start_delay=1.0)
+        sim.run()
+        assert fired == ["from-daemon", "work"]

@@ -1,0 +1,193 @@
+"""Tests for the command-line interface (:mod:`repro.cli`)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_requires_experiment_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_predict_defaults(self):
+        args = build_parser().parse_args(["predict"])
+        assert args.vm == "t2.medium"
+        assert args.seed == 42
+        assert args.datasets == 40
+
+
+class TestList:
+    def test_lists_every_experiment(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for exp_id in ("E-T1", "E-T2", "E-F2", "E-T4", "E-F11", "E-S583"):
+            assert exp_id in text
+
+    def test_mentions_how_to_run(self):
+        _, text = run_cli("list")
+        assert "run <id>" in text
+
+
+class TestRun:
+    def test_unknown_id_fails_cleanly(self):
+        code, text = run_cli("run", "E-NOPE")
+        assert code == 2
+        assert "unknown experiment" in text
+
+    def test_id_is_case_insensitive(self):
+        # Table 2 is pure arithmetic — fast enough for a unit test.
+        code, text = run_cli("run", "e-t2")
+        assert code == 0
+        assert "E-T2" in text
+
+    def test_runs_table2_and_prints_table(self):
+        code, text = run_cli("run", "E-T2")
+        assert code == 0
+        # The monitoring-vs-prediction cost rows for 4/6/8 DCs.
+        assert "Runtime monitoring" in text or "monitoring" in text.lower()
+
+
+class TestTopology:
+    def test_paper_default_regions(self):
+        code, text = run_cli("topology")
+        assert code == 0
+        assert "8 DCs" in text
+        assert "us-east-1" in text
+        assert "sa-east-1" in text
+
+    def test_explicit_regions(self):
+        code, text = run_cli("topology", "us-east-1", "eu-west-1")
+        assert code == 0
+        assert "2 DCs" in text
+        assert "RTT" in text
+
+    def test_unknown_region_fails_cleanly(self):
+        code, text = run_cli("topology", "mars-north-1")
+        assert code == 2
+        assert "mars-north-1" in text
+
+    def test_unknown_vm_fails_cleanly(self):
+        code, text = run_cli("topology", "us-east-1", "--vm", "z9.mega")
+        assert code == 2
+        assert "z9.mega" in text
+
+
+class TestPredict:
+    def test_small_cluster_end_to_end(self):
+        code, text = run_cli(
+            "predict",
+            "us-east-1",
+            "us-west-1",
+            "ap-southeast-1",
+            "--datasets",
+            "6",
+            "--estimators",
+            "5",
+        )
+        assert code == 0
+        assert "Predicted runtime BWs" in text
+        assert "Optimal connection windows" in text
+        assert "achievable" in text
+
+    def test_deterministic_given_seed(self):
+        argv = (
+            "predict",
+            "us-east-1",
+            "eu-west-1",
+            "--datasets",
+            "6",
+            "--estimators",
+            "5",
+            "--seed",
+            "7",
+        )
+        _, first = run_cli(*argv)
+        _, second = run_cli(*argv)
+        assert first == second
+
+
+class TestReport:
+    def test_report_writes_file(self, tmp_path, monkeypatch):
+        # Point the generator at a stub registry so the test stays fast:
+        # report generation over all 15 experiments is exercised by the
+        # real EXPERIMENTS.md build, not unit tests.
+        import repro.experiments.report as report
+
+        class FakeModule:
+            __name__ = "repro.experiments.table2"
+
+            @staticmethod
+            def run(fast=True):
+                return {"value": 1}
+
+            @staticmethod
+            def render(results):
+                return f"value = {results['value']}"
+
+        monkeypatch.setattr(
+            report,
+            "EXPERIMENTS",
+            [("E-XX", "stub experiment", FakeModule)],
+        )
+        target = tmp_path / "EXPERIMENTS.md"
+        code, text = run_cli("report", "-o", str(target))
+        assert code == 0
+        assert target.exists()
+        content = target.read_text()
+        assert "E-XX" in content
+        assert "value = 1" in content
+
+
+class TestProfiles:
+    def test_topology_profile_flag(self):
+        code, text = run_cli(
+            "topology", "us-east-1", "eu-west-1", "--profile",
+            "public-internet",
+        )
+        assert code == 0
+        assert "public-internet" in text
+
+    def test_unknown_profile_fails_cleanly(self):
+        code, text = run_cli(
+            "topology", "us-east-1", "--profile", "tin-cans"
+        )
+        assert code == 2
+        assert "tin-cans" in text
+
+    def test_public_internet_predicts_lower_bws(self):
+        argv = (
+            "us-east-1",
+            "ap-southeast-1",
+            "--datasets",
+            "6",
+            "--estimators",
+            "5",
+        )
+        _, vpc = run_cli("predict", *argv)
+        code, pub = run_cli(
+            "predict", *argv, "--profile", "public-internet"
+        )
+        assert code == 0
+
+        def min_achievable(text: str) -> float:
+            line = [l for l in text.splitlines() if "achievable" in l][0]
+            return float(line.split("achievable")[1].split()[0])
+
+        assert min_achievable(pub) < min_achievable(vpc)
