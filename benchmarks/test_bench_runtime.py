@@ -1,0 +1,64 @@
+"""Bench E-ORP + raw scheduler throughput.
+
+Two baselines future PRs can regress against:
+
+* the online-vs-static re-planning experiment (wall-clock of the full
+  sweep plus the speedup/replan assertions), and
+* raw multi-job scheduler throughput — how many jobs per simulated hour
+  the admission queue pushes through a contended 4-DC substrate, and
+  how much wall-clock the event-driven executor spends doing it.
+"""
+
+from repro.experiments import online_replanning
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.systems.tetrium import TetriumPolicy
+from repro.gda.workloads.terasort import terasort_job
+from repro.net.dynamics import FluctuationModel
+from repro.runtime.scheduler import JobScheduler
+
+REGIONS = ("us-east-1", "us-west-1", "eu-west-1", "ap-southeast-1")
+N_JOBS = 12
+
+
+def test_online_replanning_vs_static(regenerate):
+    results = regenerate(online_replanning)
+    rows = results["rows"]
+    # Online re-planning must never lose to the frozen plan, must win
+    # clearly on at least one persistent-drift scenario, and must
+    # actually fire mid-job re-plans.
+    assert all(row["speedup"] >= 0.97 for row in rows.values())
+    assert max(row["speedup"] for row in rows.values()) > 1.05
+    assert sum(row["replans"] for row in rows.values()) >= 3
+    assert all(row["completed"] == 6 for row in rows.values())
+
+
+def _drain_scheduler() -> JobScheduler:
+    cluster = GeoCluster.build(
+        REGIONS, "t2.medium", fluctuation=FluctuationModel(seed=3)
+    )
+    scheduler = JobScheduler(cluster, max_concurrent=3)
+    for i in range(N_JOBS):
+        scheduler.submit(
+            terasort_job({k: 400.0 for k in REGIONS}, name=f"ts-{i}"),
+            TetriumPolicy(),
+        )
+    cluster.network.sim.run()
+    return scheduler
+
+
+def test_scheduler_throughput(benchmark, capsys):
+    scheduler = benchmark.pedantic(
+        _drain_scheduler, rounds=1, iterations=1
+    )
+    stats = scheduler.stats()
+    with capsys.disabled():
+        print()
+        print(
+            f"scheduler throughput: {stats['jobs_per_hour']:.1f} "
+            f"jobs/sim-hour over {N_JOBS} jobs "
+            f"(peak concurrency {scheduler.peak_concurrency}, "
+            f"fairness {stats['fairness']:.2f})"
+        )
+    assert stats["completed"] == N_JOBS
+    assert scheduler.peak_concurrency == 3
+    assert stats["jobs_per_hour"] > 10.0

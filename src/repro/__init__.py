@@ -11,7 +11,12 @@ a flow-level WAN simulator:
   Eq. 2/3 global optimizer, AIMD local agents, heterogeneity handling);
 * :mod:`repro.gda` — a Spark-like geo-distributed analytics engine with
   Tetrium / Kimchi / SAGQ policies and the paper's workloads;
-* :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.runtime` — the long-running service layer: shared
+  telemetry store, drift detection with mid-job re-planning, a
+  multi-job scheduler, and named bandwidth-dynamics scenarios
+  (diurnal swing, flash crowd, link degradation/failure, step drop);
+* :mod:`repro.experiments` — one module per paper table/figure, plus
+  extensions such as the online-vs-static re-planning comparison.
 
 Most users start with the facade::
 
@@ -23,8 +28,18 @@ Most users start with the facade::
     bw = wanify.predict_runtime_bw(at_time=3600.0)
     plan = wanify.make_plan(bw)
 
+The runtime service is one import away (resolved lazily so the light
+facade stays light)::
+
+    from repro import ServiceConfig, WANifyService
+
+    service = WANifyService.build(ServiceConfig(scenario="step-drop"))
+    service.submit(job)
+    service.run()
+
 See ``examples/quickstart.py`` and README.md for a guided tour, and
-``python -m repro --help`` for the command-line interface.
+``python -m repro --help`` for the command-line interface
+(``python -m repro serve`` drives the runtime service).
 """
 
 from repro.cloud.regions import PAPER_REGIONS
@@ -42,9 +57,44 @@ from repro.net.profiles import (
 )
 from repro.net.topology import DataCenter, Topology
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Runtime-service names resolved lazily (PEP 562) — they pull in the
+#: GDA engine and scipy, which ``import repro`` alone should not pay
+#: for.
+_LAZY_EXPORTS = {
+    "DriftDetector": "repro.runtime.drift",
+    "JobScheduler": "repro.runtime.scheduler",
+    "SCENARIOS": "repro.runtime.scenarios",
+    "ServiceConfig": "repro.runtime.service",
+    "TelemetryStore": "repro.runtime.telemetry",
+    "WANifyService": "repro.runtime.service",
+    "scenario": "repro.runtime.scenarios",
+}
+
+
+def __getattr__(name: str):
+    """Lazy facade for the runtime service layer."""
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(__all__) | set(globals()))
+
 
 __all__ = [
+    "DriftDetector",
+    "JobScheduler",
+    "SCENARIOS",
+    "ServiceConfig",
+    "TelemetryStore",
+    "WANifyService",
+    "scenario",
     "BandwidthMatrix",
     "DataCenter",
     "EDGE_CLOUD",

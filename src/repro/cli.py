@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the things a downstream user does most:
+Six commands cover the things a downstream user does most:
 
 =============  =========================================================
 command        what it does
@@ -11,6 +11,8 @@ command        what it does
 ``topology``   show distances, RTTs and capacities for a region set
 ``predict``    train WANify and print static vs predicted runtime BWs
                plus the optimized connection plan
+``serve``      run the multi-job runtime service under a bandwidth
+               scenario (optionally comparing online vs static plans)
 =============  =========================================================
 
 Every command is deterministic given ``--seed`` (the network weather is
@@ -169,6 +171,125 @@ def cmd_predict(args: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def _render_service(svc, out: IO[str]) -> None:
+    """Per-job table, re-plan events, and the aggregate summary."""
+    summary = svc.summary()
+    out.write(
+        f"{'job':<16} {'system':<10} {'wait(s)':>8} {'jct(s)':>8} "
+        f"{'wan(GB)':>8}\n"
+    )
+    for ticket in svc.scheduler.completed:
+        result = ticket.result
+        out.write(
+            f"{ticket.job.name:<16} {result.system_name:<10} "
+            f"{ticket.wait_s:>8.1f} {ticket.jct_s:>8.1f} "
+            f"{result.wan_gb:>8.2f}\n"
+        )
+    if summary.events:
+        out.write("\nre-plan events:\n")
+        for event in summary.events:
+            out.write(f"  {event.describe()}\n")
+    out.write(
+        f"\ncompleted {summary.completed} jobs in "
+        f"{summary.makespan_s:.0f} s "
+        f"({summary.jobs_per_hour:.1f} jobs/sim-hour)\n"
+        f"mean wait {summary.mean_wait_s:.1f} s, "
+        f"mean JCT {summary.mean_jct_s:.1f} s, "
+        f"fairness {summary.fairness:.2f}, "
+        f"re-plans {summary.replans}\n"
+    )
+
+
+def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
+    """Run the runtime service on a scenario; optionally compare modes."""
+    from repro.runtime.scenarios import scenario_names
+    from repro.runtime.service import (
+        ServiceConfig,
+        WANifyService,
+        default_job_mix,
+    )
+
+    keys = tuple(args.regions) if args.regions else PAPER_REGIONS
+    if args.scenario not in scenario_names():
+        out.write(
+            f"unknown scenario {args.scenario!r}; "
+            f"known: {', '.join(scenario_names())}\n"
+        )
+        return 2
+    try:
+        for key in keys:
+            region(key)
+        network_profile(args.profile)
+    except KeyError as exc:
+        out.write(f"{exc.args[0]}\n")
+        return 2
+    if len(keys) < 2:
+        out.write("serve needs at least 2 regions (no WAN otherwise)\n")
+        return 2
+    if args.jobs < 1:
+        out.write(f"--jobs must be ≥ 1 (got {args.jobs})\n")
+        return 2
+    if args.max_concurrent < 1:
+        out.write(
+            f"--max-concurrent must be ≥ 1 (got {args.max_concurrent})\n"
+        )
+        return 2
+    if args.scale_mb <= 0:
+        out.write(f"--scale-mb must be positive (got {args.scale_mb})\n")
+        return 2
+
+    def run_once(online: bool) -> WANifyService:
+        config = ServiceConfig(
+            regions=keys,
+            vm=args.vm,
+            profile=args.profile,
+            seed=args.seed,
+            scenario=args.scenario,
+            online=online,
+            max_concurrent=args.max_concurrent,
+            n_training_datasets=args.datasets,
+            n_estimators=args.estimators,
+        )
+        service = WANifyService.build(config)
+        mix = default_job_mix(
+            keys, count=args.jobs, seed=args.seed, scale_mb=args.scale_mb
+        )
+        for delay, job in mix:
+            service.submit_at(delay, job)
+        service.run(until=args.duration)
+        service.stop()
+        return service
+
+    mode = "static plan" if args.static else "online re-planning"
+    out.write(
+        f"serving {args.jobs} jobs on {len(keys)} DCs, scenario "
+        f"{args.scenario!r}, {mode} (seed {args.seed})\n\n"
+    )
+    primary = run_once(online=not args.static)
+    _render_service(primary, out)
+    if args.compare:
+        # The comparison run is always the *opposite* mode, so
+        # `--static --compare` works too.
+        other_mode = (
+            "online re-planning" if args.static else
+            "static plan (no re-planning)"
+        )
+        out.write(f"\n-- comparison: {other_mode} --\n\n")
+        other = run_once(online=args.static)
+        _render_service(other, out)
+        online_svc, static_svc = (
+            (other, primary) if args.static else (primary, other)
+        )
+        online_total = online_svc.summary().total_jct_s
+        static_total = static_svc.summary().total_jct_s
+        if online_total > 0:
+            out.write(
+                f"\nonline/static total-JCT speedup: "
+                f"{static_total / online_total:.2f}x\n"
+            )
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -230,6 +351,64 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument(
         "--estimators", type=int, default=30, help="forest size"
     )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the multi-job runtime service under a scenario",
+    )
+    p_serve.add_argument(
+        "regions", nargs="*", help="region keys (default: the paper's 8)"
+    )
+    p_serve.add_argument("--vm", default="t2.medium", help="VM type key")
+    p_serve.add_argument(
+        "--profile",
+        default="vpc-peering",
+        help="network profile: vpc-peering, public-internet, edge-cloud",
+    )
+    p_serve.add_argument(
+        "--scenario",
+        default="step-drop",
+        help="bandwidth scenario: calm, diurnal, flash-crowd, "
+        "link-degradation, link-failure, step-drop",
+    )
+    p_serve.add_argument("--seed", type=int, default=42, help="weather seed")
+    p_serve.add_argument(
+        "--jobs", type=int, default=6, help="jobs in the submission mix"
+    )
+    p_serve.add_argument(
+        "--scale-mb",
+        type=float,
+        default=4000.0,
+        help="per-job input volume (MB)",
+    )
+    p_serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=3,
+        help="concurrent jobs admitted",
+    )
+    p_serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="stop after this many simulated seconds (default: drain)",
+    )
+    p_serve.add_argument(
+        "--static",
+        action="store_true",
+        help="freeze the submit-time plan (no online re-planning)",
+    )
+    p_serve.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the static baseline and print the speedup",
+    )
+    p_serve.add_argument(
+        "--datasets", type=int, default=16, help="training datasets"
+    )
+    p_serve.add_argument(
+        "--estimators", type=int, default=12, help="forest size"
+    )
     return parser
 
 
@@ -239,6 +418,7 @@ _COMMANDS = {
     "report": cmd_report,
     "topology": cmd_topology,
     "predict": cmd_predict,
+    "serve": cmd_serve,
 }
 
 

@@ -10,33 +10,49 @@ destinations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.connections import ConnectionsManager
 from repro.core.globalopt import GlobalPlan
 from repro.core.localopt import EPOCH_S, LocalOptimizer
 from repro.core.throttle import apply_throttles
-from repro.net.monitor import WanMonitor
+from repro.net.monitor import SampleSink, WanMonitor
 from repro.net.simulator import NetworkSimulator
 from repro.sim.kernel import Process
 
 
 @dataclass
 class LocalAgent:
-    """One DC's WANify agent."""
+    """One DC's WANify agent.
+
+    ``telemetry`` is any :data:`~repro.net.monitor.SampleSink` — in the
+    runtime service it is the shared
+    :class:`~repro.runtime.telemetry.TelemetryStore`, so the cluster's
+    drift detector sees what every agent's monitor sees.
+    """
 
     network: NetworkSimulator
     dc: str
     plan: GlobalPlan
     throttling: bool = True
     epoch_s: float = EPOCH_S
+    telemetry: Optional[SampleSink] = None
     monitor: WanMonitor = field(init=False)
     optimizer: LocalOptimizer = field(init=False)
     manager: ConnectionsManager = field(init=False)
     _process: Process = field(init=False)
 
     def __post_init__(self) -> None:
+        on_sample = (
+            self.telemetry.record
+            if hasattr(self.telemetry, "record")
+            else self.telemetry
+        )
         self.monitor = WanMonitor(
-            self.network, self.dc, interval_s=self.epoch_s
+            self.network,
+            self.dc,
+            interval_s=self.epoch_s,
+            on_sample=on_sample,
         )
         self.optimizer = LocalOptimizer.from_plan(self.dc, self.plan)
         self.manager = ConnectionsManager(self.network, self.dc)
@@ -87,9 +103,14 @@ def deploy_agents(
     plan: GlobalPlan,
     throttling: bool = True,
     epoch_s: float = EPOCH_S,
+    telemetry: Optional[SampleSink] = None,
 ) -> list[LocalAgent]:
-    """Start one agent per DC in the plan; returns them for later stop()."""
+    """Start one agent per DC in the plan; returns them for later stop().
+
+    ``telemetry`` (a store or bare callable) is shared by every agent's
+    monitor — the runtime service's cluster-wide sample feed.
+    """
     return [
-        LocalAgent(network, dc, plan, throttling, epoch_s)
+        LocalAgent(network, dc, plan, throttling, epoch_s, telemetry)
         for dc in plan.keys
     ]

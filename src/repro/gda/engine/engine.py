@@ -36,7 +36,9 @@ from repro.gda.engine.cost import CostBreakdown, job_cost
 from repro.gda.engine.dag import JobSpec, StageSpec
 from repro.net.matrix import BandwidthMatrix
 
-_MIN_TRANSFER_MB = 1e-6
+#: Transfers below this volume are dropped (numerical dust from
+#: fractional placements).  Shared with the runtime executor.
+MIN_TRANSFER_MB = 1e-6
 
 #: Spark shuffle amplification: the bytes that actually cross the WAN
 #: per logical shuffle byte.  Covers spill re-reads, fetch protocol
@@ -142,7 +144,7 @@ class GdaEngine:
         if migration:
             transfers = []
             for src, dst, mb in migration:
-                if mb <= _MIN_TRANSFER_MB or src == dst:
+                if mb <= MIN_TRANSFER_MB or src == dst:
                     continue
                 transfers.append((src, dst, mb))
                 data[src] = data.get(src, 0.0) - mb
@@ -199,13 +201,13 @@ class GdaEngine:
             placement = policy.place_stage(
                 stage, data, decision_bw, self.cluster
             )
-            _validate_placement(placement, self.cluster.keys)
+            validate_placement(placement, self.cluster.keys)
             transfers = []
             arriving = {dc: 0.0 for dc in self.cluster.keys}
             for src, mb in data.items():
                 for dst, frac in placement.items():
                     volume = mb * frac
-                    if volume <= _MIN_TRANSFER_MB:
+                    if volume <= MIN_TRANSFER_MB:
                         continue
                     arriving[dst] += volume
                     if src != dst:
@@ -270,7 +272,7 @@ class GdaEngine:
                 )
 
 
-def _validate_placement(
+def validate_placement(
     placement: dict[str, float], keys: tuple[str, ...]
 ) -> None:
     unknown = set(placement) - set(keys)

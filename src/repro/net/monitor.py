@@ -10,9 +10,17 @@ computes standard deviations (Fig. 9).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
 
 from repro.net.simulator import NetworkSimulator
 from repro.sim.kernel import Process
+
+#: Signature monitors publish with: ``(dc, time, rates_mbps)``.  A
+#: :class:`repro.runtime.telemetry.TelemetryStore` bound method
+#: (``store.record``) satisfies it directly.
+SampleSink = Callable[[str, float, dict[str, float]], None]
 
 
 @dataclass
@@ -37,12 +45,17 @@ class WanMonitor:
         dc: str,
         interval_s: float = 5.0,
         history: int = 512,
+        on_sample: Optional[SampleSink] = None,
     ) -> None:
         self.network = network
         self.dc = dc
         self.interval_s = interval_s
         self.history_limit = history
         self.samples: list[MonitorSample] = []
+        #: Optional publication hook — the runtime service passes the
+        #: shared telemetry store's ``record`` here, so every agent's
+        #: monitor feeds one cluster-wide series.
+        self.on_sample = on_sample
         self._volume_anchor: dict[str, float] = {}
         self._process = Process(
             network.sim, interval_s, self._sample, start_delay=interval_s
@@ -57,6 +70,8 @@ class WanMonitor:
         self.samples.append(MonitorSample(now, rates))
         if len(self.samples) > self.history_limit:
             del self.samples[: len(self.samples) - self.history_limit]
+        if self.on_sample is not None:
+            self.on_sample(self.dc, now, dict(rates))
 
     def latest_rate(self, dst: str) -> float:
         """Most recently sampled rate toward ``dst`` (Mbps), 0 if none."""
@@ -67,6 +82,27 @@ class WanMonitor:
     def latest(self) -> dict[str, float]:
         """Most recent full sample (empty dict before the first tick)."""
         return dict(self.samples[-1].rates_mbps) if self.samples else {}
+
+    def rate_percentile(self, dst: str, p: float) -> float:
+        """Percentile of this monitor's own sampled rates toward ``dst``.
+
+        Only *active* samples count (a rate of 0 means the link was
+        idle, which says nothing about its capacity); returns 0 when the
+        link never carried traffic.  The cluster-wide view with sliding
+        windows and EWMA lives in
+        :class:`repro.runtime.telemetry.TelemetryStore` — this is the
+        single-node shortcut.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100]: {p}")
+        rates = [
+            s.rates_mbps.get(dst, 0.0)
+            for s in self.samples
+            if s.rates_mbps.get(dst, 0.0) > 0.0
+        ]
+        if not rates:
+            return 0.0
+        return float(np.percentile(rates, p))
 
     def window_volume_mb(self, dst: str) -> float:
         """Megabytes sent to ``dst`` since the last call for that pair.

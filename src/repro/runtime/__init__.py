@@ -1,0 +1,77 @@
+"""Runtime service layer: multi-job WANify with online replanning.
+
+The paper positions WANify as a *runtime* system — bandwidth is gauged
+continuously and connection plans are rebalanced while analytics jobs
+execute.  This package turns the one-shot reproduction pipeline
+(train → predict → plan → run a single query) into a long-running
+service on the deterministic :mod:`repro.sim` kernel:
+
+* :mod:`repro.runtime.telemetry` — :class:`TelemetryStore`, a bounded
+  time-series store fed by every DC's
+  :class:`~repro.net.monitor.WanMonitor`, with sliding-window
+  percentile capacity estimators (p50/p95) and EWMA smoothing;
+* :mod:`repro.runtime.drift` — :class:`DriftDetector`, which watches
+  estimator output against the trained prediction and fires
+  re-gauge/re-plan events when the error exceeds a threshold;
+* :mod:`repro.runtime.scheduler` — :class:`JobScheduler`, an admission
+  queue running multiple concurrent GDA jobs over the shared WAN
+  substrate, with per-job completion and fairness statistics;
+* :mod:`repro.runtime.executor` — the event-driven (non-blocking) job
+  runner the scheduler uses to interleave jobs on one simulator;
+* :mod:`repro.runtime.scenarios` — named bandwidth-dynamics scenarios
+  (diurnal swing, flash crowd, link degradation/failure, step drop)
+  pluggable into :class:`~repro.net.simulator.NetworkSimulator`;
+* :mod:`repro.runtime.service` — :class:`WANifyService`, which wires
+  the pieces together and owns the replanning loop.
+
+Quick tour::
+
+    from repro.runtime import ServiceConfig, WANifyService, scenario
+
+    service = WANifyService.build(
+        ServiceConfig(scenario="link-degradation", seed=11)
+    )
+    service.submit(my_job)           # queued, admitted when a slot frees
+    service.run(until=3600.0)        # drive the shared simulator
+    print(service.summary())         # JCTs, waits, replans, fairness
+
+``python -m repro serve`` exposes the same loop from the command line.
+"""
+
+from repro.runtime.drift import DriftDetector, ReplanEvent
+from repro.runtime.executor import JobRun
+from repro.runtime.scenarios import (
+    SCENARIOS,
+    DiurnalSwing,
+    FlashCrowd,
+    LinkDegradation,
+    ScenarioModel,
+    StepDrop,
+    scenario,
+    scenario_names,
+)
+from repro.runtime.scheduler import JobScheduler, JobTicket
+from repro.runtime.service import ServiceConfig, ServiceSummary, WANifyService
+from repro.runtime.telemetry import LinkEstimate, LinkSeries, TelemetryStore
+
+__all__ = [
+    "DiurnalSwing",
+    "DriftDetector",
+    "FlashCrowd",
+    "JobRun",
+    "JobScheduler",
+    "JobTicket",
+    "LinkDegradation",
+    "LinkEstimate",
+    "LinkSeries",
+    "ReplanEvent",
+    "SCENARIOS",
+    "ScenarioModel",
+    "ServiceConfig",
+    "ServiceSummary",
+    "StepDrop",
+    "TelemetryStore",
+    "WANifyService",
+    "scenario",
+    "scenario_names",
+]

@@ -1,0 +1,253 @@
+"""Event-driven job execution for the multi-job runtime.
+
+:class:`~repro.gda.engine.engine.GdaEngine` drives one job by pumping
+the simulator loop itself (``sim.step()`` until each transfer batch
+drains) — correct for a single query, but it cannot interleave jobs:
+the first job's blocking drain would run every other job's events too.
+
+:class:`JobRun` re-expresses the same execution model (DESIGN.md stage
+semantics, shuffle overhead, placement validation) as a callback-driven
+state machine: transfer batches advance the job from their completion
+callbacks and compute phases are scheduled events, so any number of
+runs interleave on one shared :class:`~repro.sim.kernel.Simulator` —
+which is what lets the scheduler run concurrent jobs against the same
+contended WAN.
+
+Two runtime-specific twists:
+
+* ``decision_bw`` may be a *callable* re-read at every placement
+  decision — when the service re-plans mid-job, later stages of
+  already-running jobs see the fresh matrix;
+* per-job WAN volume is tracked from the run's own transfers (the
+  network's global counters span all concurrent jobs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.gda.engine.cost import job_cost
+from repro.gda.engine.dag import JobSpec, StageSpec
+from repro.gda.engine.engine import (
+    MIN_TRANSFER_MB,
+    SHUFFLE_OVERHEAD,
+    JobResult,
+    StageMetrics,
+    validate_placement,
+)
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.systems.base import PlacementPolicy
+from repro.net.matrix import BandwidthMatrix
+
+#: ``decision_bw`` forms a run accepts: a fixed matrix, a provider
+#: re-read per stage, or nothing (policies fall back to static logic).
+DecisionBw = Union[
+    BandwidthMatrix, Callable[[], Optional[BandwidthMatrix]], None
+]
+
+
+class JobRun:
+    """One job advancing through its stages via simulator callbacks."""
+
+    def __init__(
+        self,
+        cluster: GeoCluster,
+        job: JobSpec,
+        policy: PlacementPolicy,
+        decision_bw: DecisionBw = None,
+        shuffle_overhead: float = SHUFFLE_OVERHEAD,
+        on_finish: Optional[Callable[[JobResult], None]] = None,
+    ) -> None:
+        if shuffle_overhead < 1.0:
+            raise ValueError(
+                f"shuffle overhead must be ≥ 1: {shuffle_overhead}"
+            )
+        self.cluster = cluster
+        self.job = job
+        self.policy = policy
+        self._decision_bw = decision_bw
+        self.shuffle_overhead = shuffle_overhead
+        self.on_finish = on_finish
+        self.result: Optional[JobResult] = None
+        self.started = False
+        self.wan_mbits = 0.0
+        self._t0 = 0.0
+        self._data: dict[str, float] = {}
+        self._stages: list[StageMetrics] = []
+        self._migration_s = 0.0
+        self._migration_mb = 0.0
+
+    @property
+    def done(self) -> bool:
+        """Whether the job has produced its result."""
+        return self.result is not None
+
+    def decision_bw(self) -> Optional[BandwidthMatrix]:
+        """The policy's current belief about the network."""
+        if callable(self._decision_bw):
+            return self._decision_bw()
+        return self._decision_bw
+
+    # -- state machine --------------------------------------------------
+
+    def start(self) -> "JobRun":
+        """Begin executing; returns immediately, completion is async."""
+        if self.started:
+            raise RuntimeError(f"job {self.job.name!r} already started")
+        self.started = True
+        sim = self.cluster.network.sim
+        self._t0 = sim.now
+        self._data = {
+            dc: float(mb)
+            for dc, mb in self.job.input_mb_by_dc.items()
+            if mb > 0
+        }
+        for dc in self._data:
+            self.cluster.topology.index(dc)
+        migration = self.policy.plan_migration(
+            self._data,
+            self.decision_bw(),
+            self.cluster,
+            shuffle_mb=self.job.intermediate_mb(),
+        )
+        transfers = []
+        for src, dst, mb in migration:
+            if mb <= MIN_TRANSFER_MB or src == dst:
+                continue
+            transfers.append((src, dst, mb))
+            self._data[src] = self._data.get(src, 0.0) - mb
+            self._data[dst] = self._data.get(dst, 0.0) + mb
+            self._migration_mb += mb
+        migration_start = sim.now
+
+        def migrated() -> None:
+            self._migration_s = sim.now - migration_start
+            self._begin_stage(0)
+
+        self._launch(transfers, "migration", migrated)
+        return self
+
+    def _begin_stage(self, index: int) -> None:
+        if index >= len(self.job.stages):
+            self._finish()
+            return
+        stage = self.job.stages[index]
+        metrics = StageMetrics(stage.name)
+        sim = self.cluster.network.sim
+        if stage.shuffle:
+            placement = self.policy.place_stage(
+                stage, self._data, self.decision_bw(), self.cluster
+            )
+            validate_placement(placement, self.cluster.keys)
+            transfers = []
+            arriving = {dc: 0.0 for dc in self.cluster.keys}
+            for src, mb in self._data.items():
+                for dst, frac in placement.items():
+                    volume = mb * frac
+                    if volume <= MIN_TRANSFER_MB:
+                        continue
+                    arriving[dst] += volume
+                    if src != dst:
+                        transfers.append(
+                            (src, dst, volume * self.shuffle_overhead)
+                        )
+            metrics.moved_mb = sum(
+                mb for _, _, mb in transfers
+            ) / self.shuffle_overhead
+            metrics.placement = dict(placement)
+            start = sim.now
+
+            def shuffled() -> None:
+                metrics.network_s = sim.now - start
+                self._compute(index, stage, metrics, arriving)
+
+            self._launch(transfers, stage.name, shuffled)
+        else:
+            arriving = dict(self._data)
+            total = sum(arriving.values())
+            metrics.placement = {
+                dc: (mb / total if total > 0 else 0.0)
+                for dc, mb in arriving.items()
+            }
+            self._compute(index, stage, metrics, arriving)
+
+    def _compute(
+        self,
+        index: int,
+        stage: StageSpec,
+        metrics: StageMetrics,
+        arriving: dict[str, float],
+    ) -> None:
+        sim = self.cluster.network.sim
+        compute_s = max(
+            (
+                self.cluster.compute_seconds(dc, mb, stage.cpu_s_per_mb)
+                for dc, mb in arriving.items()
+                if mb > 0
+            ),
+            default=0.0,
+        )
+        metrics.compute_s = compute_s
+
+        def computed() -> None:
+            self._stages.append(metrics)
+            self._data = {
+                dc: mb * stage.output_ratio
+                for dc, mb in arriving.items()
+                if mb * stage.output_ratio > 0
+            }
+            self._begin_stage(index + 1)
+
+        sim.schedule(compute_s, computed)
+
+    def _launch(
+        self,
+        transfers: list[tuple[str, str, float]],
+        tag: str,
+        then: Callable[[], None],
+    ) -> None:
+        """Start a batch of transfers; call ``then`` when all finish."""
+        network = self.cluster.network
+        if not transfers:
+            # Keep the advance asynchronous even for empty batches so
+            # stage ordering is uniform (and recursion stays bounded).
+            network.sim.schedule(0.0, then)
+            return
+        pending = [len(transfers)]
+
+        def done(transfer) -> None:
+            self.wan_mbits += transfer.size_mbits
+            pending[0] -= 1
+            if pending[0] == 0:
+                then()
+
+        for src, dst, mb in transfers:
+            network.start_transfer(
+                src,
+                dst,
+                mb * 8.0,
+                on_complete=done,
+                tag=f"{self.job.name}:{tag}",
+            )
+
+    def _finish(self) -> None:
+        network = self.cluster.network
+        jct_s = network.sim.now - self._t0
+        self.result = JobResult(
+            job_name=self.job.name,
+            system_name=self.policy.name,
+            jct_s=jct_s,
+            cost=job_cost(
+                self.cluster, jct_s, self.wan_mbits,
+                self.job.total_input_mb,
+            ),
+            # Cluster-wide floor since service start: with concurrent
+            # jobs there is no per-job exclusive window to average over.
+            min_bw_mbps=network.min_observed_bw(),
+            wan_gb=self.wan_mbits / 8.0 / 1024.0,
+            stages=self._stages,
+            migration_s=self._migration_s,
+            migration_mb=self._migration_mb,
+        )
+        if self.on_finish is not None:
+            self.on_finish(self.result)

@@ -1,0 +1,245 @@
+"""Named bandwidth-dynamics scenarios.
+
+Each scenario wraps a base weather model (usually
+:class:`~repro.net.dynamics.FluctuationModel`) and multiplies in a
+deterministic *shape* — a structural capacity change the offline
+training campaign never saw.  That is exactly the regime the runtime
+service exists for: the prediction model stays calibrated to normal
+weather, the scenario drifts the real network away from it, and the
+:class:`~repro.runtime.drift.DriftDetector` has something to catch.
+
+Scenario models satisfy the same duck-typed interface as the weather
+models (``factor`` and ``snapshot_jitter``), so they plug straight into
+:class:`~repro.net.simulator.NetworkSimulator` and the measurement
+probes.  Everything is a pure function of ``(seed, i, j, t)`` — replays
+and independent simulator instances agree on the shape.
+
+Named scenarios (see :data:`SCENARIOS`):
+
+==================  ==================================================
+name                shape
+==================  ==================================================
+``calm``            base weather only (control)
+``diurnal``         deep daily swing on every link
+``flash-crowd``     a transient capacity crunch on ~half the links
+``link-degradation``  a subset of links ramp down to ~25 % and stay
+``link-failure``    a few links collapse to ~5 % (effective failure)
+``step-drop``       the whole substrate steps down to ~55 %
+==================  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.dynamics import (
+    DAY_S,
+    FluctuationModel,
+    StaticModel,
+    _link_hash,
+)
+
+#: Hard floor for the combined capacity factor — links never reach
+#: exactly zero (the fluid solver needs positive caps).
+FACTOR_FLOOR = 0.02
+
+#: Salt for scenario link selection, kept away from the weather model's
+#: own hash inputs.
+_SELECT_SALT = 0x5C3A
+
+
+def _selected(seed: int, i: int, j: int, fraction: float) -> bool:
+    """Deterministically pick ``fraction`` of directed links."""
+    if fraction >= 1.0:
+        return True
+    if fraction <= 0.0:
+        return False
+    rng = _link_hash(seed ^ _SELECT_SALT, i, j, -3)
+    return bool(rng.uniform() < fraction)
+
+
+def _ramp(t: float, start: float, ramp_s: float) -> float:
+    """0 before ``start``, 1 after ``start + ramp_s``, linear between."""
+    if t <= start:
+        return 0.0
+    if ramp_s <= 0.0 or t >= start + ramp_s:
+        return 1.0
+    return (t - start) / ramp_s
+
+
+@dataclass(frozen=True)
+class ScenarioModel:
+    """Base class: base weather × scenario shape, floored.
+
+    Subclasses override :meth:`shape`; ``factor`` is what the simulator
+    consumes.  ``snapshot_jitter`` delegates to the base model so probe
+    noise is unchanged.
+    """
+
+    base: FluctuationModel | StaticModel = field(
+        default_factory=FluctuationModel
+    )
+    seed: int = 7
+
+    #: Registry key; subclasses set their own.
+    name: str = "scenario"
+
+    def shape(self, i: int, j: int, t: float) -> float:
+        """Multiplicative scenario factor (1 = no effect)."""
+        return 1.0
+
+    def factor(self, i: int, j: int, t: float) -> float:
+        """Combined capacity factor for link ``i → j`` at time ``t``."""
+        if i == j:
+            return 1.0
+        combined = self.base.factor(i, j, t) * self.shape(i, j, t)
+        return float(max(combined, FACTOR_FLOOR))
+
+    def snapshot_jitter(
+        self, i: int, j: int, t: float, window_s: float
+    ) -> float:
+        """Probe jitter, inherited from the base weather."""
+        return self.base.snapshot_jitter(i, j, t, window_s)
+
+
+@dataclass(frozen=True)
+class DiurnalSwing(ScenarioModel):
+    """A pronounced daily cycle on every link.
+
+    Much deeper than the base model's own diurnal term — models a
+    shared-backbone region where business-hours cross-traffic halves
+    usable capacity.  Per-link phases are spread a little so the trough
+    is not perfectly synchronized.
+    """
+
+    name: str = "diurnal"
+    amplitude: float = 0.35
+    period_s: float = DAY_S
+    phase_spread: float = 0.6
+
+    def shape(self, i: int, j: int, t: float) -> float:
+        rng = _link_hash(self.seed ^ _SELECT_SALT, i, j, -4)
+        phase = float(rng.uniform(-self.phase_spread, self.phase_spread))
+        return 1.0 - self.amplitude * (
+            0.5 + 0.5 * np.sin(2.0 * np.pi * t / self.period_s + phase)
+        )
+
+
+@dataclass(frozen=True)
+class FlashCrowd(ScenarioModel):
+    """A transient crunch: affected links ramp down, hold, recover.
+
+    Models a correlated external event (a big live stream, a viral
+    release) stealing WAN capacity for ``duration_s``.
+    """
+
+    name: str = "flash-crowd"
+    start_s: float = 600.0
+    duration_s: float = 900.0
+    ramp_s: float = 120.0
+    depth: float = 0.4
+    hit_fraction: float = 0.5
+
+    def shape(self, i: int, j: int, t: float) -> float:
+        if not _selected(self.seed, i, j, self.hit_fraction):
+            return 1.0
+        onset = _ramp(t, self.start_s, self.ramp_s)
+        recovery = _ramp(t, self.start_s + self.duration_s, self.ramp_s)
+        intensity = onset - recovery
+        return 1.0 - (1.0 - self.depth) * max(0.0, intensity)
+
+
+@dataclass(frozen=True)
+class LinkDegradation(ScenarioModel):
+    """Selected links ramp down to ``residual`` capacity and stay there.
+
+    Models route damage — a submarine-cable fault, a bad peering
+    change.  ``links`` pins explicit (i, j) index pairs; when empty,
+    ``hit_fraction`` of links is hash-selected.  With a small
+    ``residual`` this doubles as the link-*failure* scenario.
+    """
+
+    name: str = "link-degradation"
+    start_s: float = 600.0
+    ramp_s: float = 300.0
+    residual: float = 0.25
+    hit_fraction: float = 0.25
+    links: tuple[tuple[int, int], ...] = ()
+
+    def _hit(self, i: int, j: int) -> bool:
+        if self.links:
+            return (i, j) in self.links
+        return _selected(self.seed, i, j, self.hit_fraction)
+
+    def shape(self, i: int, j: int, t: float) -> float:
+        if not self._hit(i, j):
+            return 1.0
+        progress = _ramp(t, self.start_s, self.ramp_s)
+        return 1.0 - (1.0 - self.residual) * progress
+
+
+@dataclass(frozen=True)
+class StepDrop(ScenarioModel):
+    """The whole substrate steps down to ``level`` at ``at_s``.
+
+    Models a provider-wide brownout (maintenance window, backbone
+    reroute) — instantaneous, global, persistent.
+    """
+
+    name: str = "step-drop"
+    at_s: float = 900.0
+    level: float = 0.55
+
+    def shape(self, i: int, j: int, t: float) -> float:
+        return self.level if t >= self.at_s else 1.0
+
+
+def _base(base: FluctuationModel | StaticModel | None, seed: int):
+    return base if base is not None else FluctuationModel(seed=seed)
+
+
+#: name → factory(base, seed) for every named scenario.
+SCENARIOS: dict[str, object] = {
+    "calm": lambda base, seed: ScenarioModel(_base(base, seed), seed),
+    "diurnal": lambda base, seed: DiurnalSwing(_base(base, seed), seed),
+    "flash-crowd": lambda base, seed: FlashCrowd(_base(base, seed), seed),
+    "link-degradation": lambda base, seed: LinkDegradation(
+        _base(base, seed), seed
+    ),
+    "link-failure": lambda base, seed: LinkDegradation(
+        _base(base, seed),
+        seed,
+        start_s=600.0,
+        ramp_s=60.0,
+        residual=0.05,
+        hit_fraction=0.15,
+    ),
+    "step-drop": lambda base, seed: StepDrop(_base(base, seed), seed),
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    return tuple(sorted(SCENARIOS))
+
+
+def scenario(
+    name: str,
+    seed: int = 7,
+    base: FluctuationModel | StaticModel | None = None,
+) -> ScenarioModel:
+    """Build a named scenario over ``base`` weather (seeded default).
+
+    >>> scenario("step-drop", seed=3).factor(0, 1, 0.0) > 0
+    True
+    """
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {known}"
+        ) from None
+    return factory(base, seed)

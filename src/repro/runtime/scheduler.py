@@ -1,0 +1,189 @@
+"""Multi-job admission and execution over the shared WAN substrate.
+
+The scheduler keeps a FIFO admission queue and at most
+``max_concurrent`` jobs in flight; each admitted job becomes a
+:class:`~repro.runtime.executor.JobRun` interleaving with every other
+run on the cluster's single simulator.  Because all jobs shuffle over
+the same :class:`~repro.net.simulator.NetworkSimulator`, they contend
+for WAN capacity exactly like co-located production queries — which is
+the point: WANify's plan (and re-plans) apply to the substrate all of
+them share.
+
+Per-job bookkeeping lives in :class:`JobTicket`; aggregate statistics
+(throughput in jobs per simulated hour, mean wait/JCT, and a Jain
+fairness index over per-job achieved WAN throughput) come from
+:meth:`JobScheduler.stats`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.dag import JobSpec
+from repro.gda.engine.engine import SHUFFLE_OVERHEAD, JobResult
+from repro.gda.systems.base import PlacementPolicy
+from repro.runtime.executor import DecisionBw, JobRun
+
+
+@dataclass
+class JobTicket:
+    """One submission's lifecycle: queued → running → done."""
+
+    job: JobSpec
+    policy: PlacementPolicy
+    submitted_s: float
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    run: Optional[JobRun] = None
+    result: Optional[JobResult] = None
+
+    @property
+    def state(self) -> str:
+        """``queued``, ``running``, or ``done``."""
+        if self.finished_s is not None:
+            return "done"
+        if self.started_s is not None:
+            return "running"
+        return "queued"
+
+    @property
+    def wait_s(self) -> float:
+        """Queueing delay before admission (0 while still queued)."""
+        if self.started_s is None:
+            return 0.0
+        return self.started_s - self.submitted_s
+
+    @property
+    def jct_s(self) -> float:
+        """Completion time from *submission* (includes queueing)."""
+        if self.finished_s is None:
+            return 0.0
+        return self.finished_s - self.submitted_s
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain's fairness index: 1 = perfectly even, → 1/n = one hog.
+
+    >>> round(jain_index([10.0, 10.0, 10.0]), 3)
+    1.0
+    """
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 1.0
+    total = sum(positives)
+    squares = sum(v * v for v in positives)
+    return total * total / (len(positives) * squares)
+
+
+class JobScheduler:
+    """FIFO admission queue + bounded concurrency over one cluster."""
+
+    def __init__(
+        self,
+        cluster: GeoCluster,
+        max_concurrent: int = 3,
+        decision_bw: DecisionBw = None,
+        shuffle_overhead: float = SHUFFLE_OVERHEAD,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be ≥ 1: {max_concurrent}"
+            )
+        self.cluster = cluster
+        self.max_concurrent = max_concurrent
+        self.decision_bw = decision_bw
+        self.shuffle_overhead = shuffle_overhead
+        self.queued: deque[JobTicket] = deque()
+        self.running: list[JobTicket] = []
+        self.completed: list[JobTicket] = []
+        self.on_job_finished: Optional[Callable[[JobTicket], None]] = None
+        #: Most jobs ever in flight at once (for concurrency assertions).
+        self.peak_concurrency = 0
+        self._first_submit: Optional[float] = None
+
+    @property
+    def sim(self):
+        """The shared simulator all jobs run on."""
+        return self.cluster.network.sim
+
+    # -- submission -----------------------------------------------------
+
+    def submit(
+        self, job: JobSpec, policy: PlacementPolicy
+    ) -> JobTicket:
+        """Queue a job now; it starts as soon as a slot frees up."""
+        ticket = JobTicket(job, policy, submitted_s=self.sim.now)
+        if self._first_submit is None:
+            self._first_submit = self.sim.now
+        self.queued.append(ticket)
+        self._admit()
+        return ticket
+
+    def submit_at(
+        self, delay_s: float, job: JobSpec, policy: PlacementPolicy
+    ) -> None:
+        """Schedule a submission ``delay_s`` seconds from now."""
+        self.sim.schedule(delay_s, lambda: self.submit(job, policy))
+
+    def _admit(self) -> None:
+        while self.queued and len(self.running) < self.max_concurrent:
+            ticket = self.queued.popleft()
+            ticket.started_s = self.sim.now
+            self.running.append(ticket)
+            self.peak_concurrency = max(
+                self.peak_concurrency, len(self.running)
+            )
+            ticket.run = JobRun(
+                self.cluster,
+                ticket.job,
+                ticket.policy,
+                decision_bw=self.decision_bw,
+                shuffle_overhead=self.shuffle_overhead,
+                on_finish=lambda result, t=ticket: self._finished(t, result),
+            )
+            ticket.run.start()
+
+    def _finished(self, ticket: JobTicket, result: JobResult) -> None:
+        ticket.result = result
+        ticket.finished_s = self.sim.now
+        self.running.remove(ticket)
+        self.completed.append(ticket)
+        if self.on_job_finished is not None:
+            self.on_job_finished(ticket)
+        self._admit()
+
+    # -- statistics -----------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Aggregate completion statistics for the run so far."""
+        done = self.completed
+        if not done or self._first_submit is None:
+            return {
+                "completed": 0.0,
+                "mean_wait_s": 0.0,
+                "mean_jct_s": 0.0,
+                "total_jct_s": 0.0,
+                "makespan_s": 0.0,
+                "jobs_per_hour": 0.0,
+                "fairness": 1.0,
+            }
+        makespan = max(t.finished_s for t in done) - self._first_submit
+        throughputs = [
+            t.result.wan_gb * 8.0 * 1024.0 / t.result.network_s
+            for t in done
+            if t.result is not None and t.result.network_s > 0
+        ]
+        return {
+            "completed": float(len(done)),
+            "mean_wait_s": sum(t.wait_s for t in done) / len(done),
+            "mean_jct_s": sum(t.jct_s for t in done) / len(done),
+            "total_jct_s": sum(t.jct_s for t in done),
+            "makespan_s": makespan,
+            "jobs_per_hour": (
+                len(done) / (makespan / 3600.0) if makespan > 0 else 0.0
+            ),
+            "fairness": jain_index(throughputs),
+        }

@@ -1,0 +1,367 @@
+"""The WANify runtime service: gauge → plan → watch → re-plan, forever.
+
+:class:`WANifyService` owns one :class:`~repro.gda.engine.cluster.GeoCluster`
+and keeps the WANify control loop running while the
+:class:`~repro.runtime.scheduler.JobScheduler` admits and executes jobs:
+
+1. **gauge** — snapshot the live network and predict stable runtime BWs
+   with the trained model (the paper's online module);
+2. **plan** — run the global optimizer and deploy AIMD agents (with
+   throttling for the default ``wanify-tc`` variant); agents publish
+   their monitor samples to the shared
+   :class:`~repro.runtime.telemetry.TelemetryStore`;
+3. **watch** — a periodic :class:`~repro.runtime.drift.DriftDetector`
+   check compares telemetry capacity estimates with the prediction;
+4. **re-plan** — on a fired event the service re-gauges, recomputes the
+   :class:`~repro.core.globalopt.GlobalPlan`, redeploys agents and
+   throttles, and swaps the scheduler's decision matrix so *later
+   stages of running jobs* place work against the fresh view.
+
+``online=False`` freezes the loop after the initial plan — the static
+baseline the online-vs-static experiment compares against.
+
+Training uses the *base* weather (normal conditions); the cluster runs
+the *scenario* weather.  The divergence between the two is precisely
+what the drift detector exists to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cloud.regions import PAPER_REGIONS
+from repro.core.agent import LocalAgent, deploy_agents
+from repro.core.globalopt import GlobalPlan
+from repro.core.interface import WANify, WANifyConfig
+from repro.core.localopt import EPOCH_S
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.dag import JobSpec
+from repro.gda.systems.base import PlacementPolicy
+from repro.gda.systems.tetrium import TetriumPolicy
+from repro.gda.workloads.terasort import terasort_job
+from repro.gda.workloads.tpcds import tpcds_job
+from repro.gda.workloads.wordcount import wordcount_job
+from repro.net.matrix import BandwidthMatrix
+from repro.net.measurement import snapshot
+from repro.net.profiles import network_profile
+from repro.runtime.drift import (
+    DEFAULT_COOLDOWN_S,
+    DEFAULT_THRESHOLD,
+    DriftDetector,
+    ReplanEvent,
+)
+from repro.runtime.scenarios import scenario
+from repro.runtime.scheduler import JobScheduler, JobTicket
+from repro.runtime.telemetry import TelemetryStore
+from repro.sim.kernel import Process
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything needed to build and run a service instance."""
+
+    regions: tuple[str, ...] = PAPER_REGIONS
+    vm: str = "t2.medium"
+    profile: str = "vpc-peering"
+    seed: int = 42
+    #: Named scenario from :mod:`repro.runtime.scenarios`; ``None``
+    #: runs plain seeded weather.
+    scenario: Optional[str] = None
+    #: ``False`` freezes the control loop after the initial plan.
+    online: bool = True
+    throttling: bool = True
+    max_concurrent: int = 3
+    epoch_s: float = EPOCH_S
+    check_interval_s: float = 30.0
+    drift_threshold: float = DEFAULT_THRESHOLD
+    cooldown_s: float = DEFAULT_COOLDOWN_S
+    max_replans: Optional[int] = None
+    #: Sliding window for the shared store.  Shorter than the 300 s
+    #: weather grid on purpose: the drift detector's median over this
+    #: window is the re-plan trigger, and detection latency is about
+    #: half the window for a persistent drop.
+    telemetry_window_s: float = 120.0
+    #: Training-campaign size (small defaults keep service start cheap;
+    #: raise toward the paper's 120/100 for fidelity studies).
+    n_training_datasets: int = 24
+    n_estimators: int = 16
+
+
+@dataclass
+class ServiceSummary:
+    """What a service run produced, for tables and assertions."""
+
+    completed: int
+    mean_wait_s: float
+    mean_jct_s: float
+    total_jct_s: float
+    makespan_s: float
+    jobs_per_hour: float
+    fairness: float
+    replans: int
+    telemetry_samples: int
+    events: list[ReplanEvent] = field(default_factory=list)
+
+    def to_row(self) -> dict[str, float]:
+        """Flat dict for table rendering."""
+        return {
+            "completed": float(self.completed),
+            "mean_wait_s": self.mean_wait_s,
+            "mean_jct_s": self.mean_jct_s,
+            "total_jct_s": self.total_jct_s,
+            "makespan_s": self.makespan_s,
+            "jobs_per_hour": self.jobs_per_hour,
+            "fairness": self.fairness,
+            "replans": float(self.replans),
+        }
+
+
+class WANifyService:
+    """Long-running multi-job WANify over one shared cluster."""
+
+    def __init__(
+        self,
+        cluster: GeoCluster,
+        wanify: WANify,
+        config: ServiceConfig = ServiceConfig(),
+    ) -> None:
+        self.cluster = cluster
+        self.wanify = wanify
+        self.config = config
+        self.telemetry = TelemetryStore(window_s=config.telemetry_window_s)
+        self.scheduler = JobScheduler(
+            cluster,
+            max_concurrent=config.max_concurrent,
+            decision_bw=lambda: self.predicted,
+        )
+        self.predicted: Optional[BandwidthMatrix] = None
+        self.plan: Optional[GlobalPlan] = None
+        self.detector: Optional[DriftDetector] = None
+        self.agents: list[LocalAgent] = []
+        self.replans: list[ReplanEvent] = []
+        self._drift_process: Optional[Process] = None
+        self._started = False
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        config: ServiceConfig = ServiceConfig(),
+        weather: Optional[object] = None,
+    ) -> "WANifyService":
+        """Build, train, and start a service from a config.
+
+        The prediction model trains on the profile's *base* weather;
+        the live cluster runs the configured *scenario* on top of it.
+        Pass ``weather`` (any ``factor``/``snapshot_jitter`` model) to
+        override the named scenario — e.g. a
+        :class:`~repro.runtime.scenarios.StepDrop` with custom timing.
+        """
+        profile = network_profile(config.profile)
+        base = profile.fluctuation(seed=config.seed)
+        if weather is None:
+            weather = (
+                scenario(config.scenario, seed=config.seed, base=base)
+                if config.scenario is not None
+                else base
+            )
+        cluster = GeoCluster.build(
+            config.regions,
+            config.vm,
+            fluctuation=weather,
+            profile=profile,
+        )
+        wanify = WANify(
+            cluster.topology,
+            base,
+            WANifyConfig(
+                n_training_datasets=config.n_training_datasets,
+                n_estimators=config.n_estimators,
+                seed=config.seed,
+            ),
+        )
+        wanify.train()
+        service = cls(cluster, wanify, config)
+        service.start()
+        return service
+
+    # -- control loop ---------------------------------------------------
+
+    @property
+    def network(self):
+        """The cluster's live network simulator."""
+        return self.cluster.network
+
+    @property
+    def sim(self):
+        """The shared simulation kernel."""
+        return self.network.sim
+
+    def start(self) -> None:
+        """Initial gauge + plan + agent deployment; arms the watcher."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        self.predicted = self._gauge()
+        self._install(self.predicted)
+        self.detector = DriftDetector(
+            self.telemetry,
+            self.predicted,
+            threshold=self.config.drift_threshold,
+            cooldown_s=self.config.cooldown_s,
+        )
+        if self.config.online:
+            self._drift_process = Process(
+                self.sim,
+                self.config.check_interval_s,
+                self._check,
+                start_delay=self.config.check_interval_s,
+                priority=5,
+            )
+
+    def _gauge(self) -> BandwidthMatrix:
+        """Snapshot the *live* network weather and predict runtime BWs."""
+        report = snapshot(
+            self.cluster.topology,
+            self.network.fluctuation,
+            at_time=self.sim.now + self.network.time_offset,
+        )
+        return self.wanify.predict_runtime_bw(report=report)
+
+    def _install(self, predicted: BandwidthMatrix) -> None:
+        """Compute and deploy a fresh plan (agents publish telemetry)."""
+        self.plan = self.wanify.make_plan(predicted)
+        self.agents = deploy_agents(
+            self.network,
+            self.plan,
+            throttling=self.config.throttling,
+            epoch_s=self.config.epoch_s,
+            telemetry=self.telemetry,
+        )
+
+    def _teardown_agents(self) -> None:
+        for agent in self.agents:
+            agent.stop()
+        self.agents = []
+        self.network.tc.clear_all()
+
+    def _check(self, now: float) -> None:
+        if self.detector is None:
+            return
+        if (
+            self.config.max_replans is not None
+            and len(self.replans) >= self.config.max_replans
+        ):
+            return
+        event = self.detector.check(now)
+        if event is not None:
+            self.replan(event)
+
+    def replan(self, event: ReplanEvent) -> None:
+        """Re-gauge, re-optimize, redeploy — the mid-job pivot.
+
+        Running jobs keep their in-flight transfers; their *next*
+        placement decisions read the refreshed matrix through the
+        scheduler's ``decision_bw`` callable.
+        """
+        self._teardown_agents()
+        self.predicted = self._gauge()
+        self._install(self.predicted)
+        if self.detector is not None:
+            self.detector.rebase(self.predicted, self.sim.now)
+        self.replans.append(event)
+
+    def stop(self) -> None:
+        """Stop agents and the watcher (queued jobs stay queued)."""
+        self._teardown_agents()
+        if self._drift_process is not None:
+            self._drift_process.stop()
+            self._drift_process = None
+
+    # -- job interface --------------------------------------------------
+
+    def submit(
+        self, job: JobSpec, policy: Optional[PlacementPolicy] = None
+    ) -> JobTicket:
+        """Queue a job under ``policy`` (Tetrium by default)."""
+        return self.scheduler.submit(job, policy or TetriumPolicy())
+
+    def submit_at(
+        self,
+        delay_s: float,
+        job: JobSpec,
+        policy: Optional[PlacementPolicy] = None,
+    ) -> None:
+        """Queue a job ``delay_s`` simulated seconds from now."""
+        self.scheduler.submit_at(delay_s, job, policy or TetriumPolicy())
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Drive the shared simulator (open-ended: until jobs drain)."""
+        self.sim.run(until=until)
+
+    # -- reporting ------------------------------------------------------
+
+    def summary(self) -> ServiceSummary:
+        """Aggregate statistics for everything completed so far."""
+        stats = self.scheduler.stats()
+        return ServiceSummary(
+            completed=int(stats["completed"]),
+            mean_wait_s=stats["mean_wait_s"],
+            mean_jct_s=stats["mean_jct_s"],
+            total_jct_s=stats["total_jct_s"],
+            makespan_s=stats["makespan_s"],
+            jobs_per_hour=stats["jobs_per_hour"],
+            fairness=stats["fairness"],
+            replans=len(self.replans),
+            telemetry_samples=self.telemetry.total_samples,
+            events=list(self.replans),
+        )
+
+
+def default_job_mix(
+    keys: tuple[str, ...],
+    count: int = 6,
+    seed: int = 42,
+    scale_mb: float = 2000.0,
+) -> list[tuple[float, JobSpec]]:
+    """A seeded (arrival-delay, job) mix cycling the paper's workloads.
+
+    Inputs are skewed per job (one DC holds a double share) and arrivals
+    are spaced half a mean-JCT apart, so the queue stays busy without
+    saturating.  Deterministic in ``(keys, count, seed, scale_mb)``.
+    """
+    if count < 1:
+        raise ValueError(f"count must be ≥ 1: {count}")
+    rng = np.random.default_rng(seed)
+    jobs: list[tuple[float, JobSpec]] = []
+    arrival = 0.0
+    for index in range(count):
+        weights = rng.uniform(0.5, 1.5, size=len(keys))
+        weights[rng.integers(0, len(keys))] *= 2.0
+        weights /= weights.sum()
+        inputs = {
+            dc: float(scale_mb * w) for dc, w in zip(keys, weights)
+        }
+        kind = index % 3
+        if kind == 0:
+            job = wordcount_job(
+                inputs, intermediate_mb=scale_mb * 0.8,
+                name=f"wordcount-{index}",
+            )
+        elif kind == 1:
+            job = terasort_job(inputs, name=f"terasort-{index}")
+        else:
+            query = (82, 95, 11, 78)[index % 4]
+            job = tpcds_job(query, inputs)
+            job = JobSpec(
+                name=f"{job.name}-{index}",
+                stages=job.stages,
+                input_mb_by_dc=job.input_mb_by_dc,
+            )
+        jobs.append((arrival, job))
+        arrival += float(rng.uniform(60.0, 240.0))
+    return jobs

@@ -1,0 +1,201 @@
+"""Shared bandwidth telemetry: bounded series + capacity estimators.
+
+Every DC's :class:`~repro.net.monitor.WanMonitor` publishes its samples
+here, making the store the cluster-wide source of truth about observed
+WAN rates (each agent previously kept a private history nobody else
+could read).  On top of the raw series the store offers the estimators
+practical WAN tooling uses for circuit-capacity tracking: sliding-window
+percentiles (p50 for "typical achieved rate", p95 for "capacity when the
+link was pushed") and an EWMA for a smoothed instantaneous view.
+
+Samples where a link was idle (zero rate) are kept in the series — the
+experiment harness reads utilization off them — but are excluded from
+capacity percentiles: an idle link says nothing about what it could
+carry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.matrix import BandwidthMatrix
+
+#: Default sliding window for percentile estimators (seconds).  Matches
+#: the fluctuation grid (~5 min): capacity estimates should span one
+#: "weather bucket", not average across several.
+DEFAULT_WINDOW_S = 300.0
+
+#: Default per-link sample bound.
+DEFAULT_MAXLEN = 512
+
+#: Default EWMA smoothing factor.
+DEFAULT_EWMA_ALPHA = 0.25
+
+
+@dataclass(frozen=True)
+class LinkEstimate:
+    """Summary of one directed link's recent telemetry.
+
+    ``p50``/``p95`` are sliding-window percentiles over *active*
+    samples; ``ewma`` smooths all samples (idle included); ``samples``
+    counts active samples inside the window; ``last_time`` is the most
+    recent sample instant (idle or not), ``nan`` if the link was never
+    sampled.
+    """
+
+    p50: float
+    p95: float
+    ewma: float
+    samples: int
+    last_time: float
+
+
+class LinkSeries:
+    """Bounded time series of (time, rate) samples for one link."""
+
+    def __init__(
+        self,
+        maxlen: int = DEFAULT_MAXLEN,
+        ewma_alpha: float = DEFAULT_EWMA_ALPHA,
+    ) -> None:
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be ≥ 1: {maxlen}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1]: {ewma_alpha}")
+        self.samples: deque[tuple[float, float]] = deque(maxlen=maxlen)
+        self.ewma_alpha = ewma_alpha
+        self._ewma: float | None = None
+
+    def add(self, time: float, rate_mbps: float) -> None:
+        """Record one sample; updates the EWMA."""
+        self.samples.append((time, rate_mbps))
+        if self._ewma is None:
+            self._ewma = rate_mbps
+        else:
+            a = self.ewma_alpha
+            self._ewma = a * rate_mbps + (1.0 - a) * self._ewma
+
+    @property
+    def ewma(self) -> float:
+        """Smoothed rate (0 before the first sample)."""
+        return self._ewma if self._ewma is not None else 0.0
+
+    @property
+    def last_time(self) -> float:
+        """Time of the newest sample (``nan`` when empty)."""
+        return self.samples[-1][0] if self.samples else float("nan")
+
+    def window(self, window_s: float | None = None) -> list[float]:
+        """Rates inside the trailing window (all retained if ``None``)."""
+        if not self.samples:
+            return []
+        if window_s is None:
+            return [rate for _, rate in self.samples]
+        cutoff = self.samples[-1][0] - window_s
+        return [rate for t, rate in self.samples if t >= cutoff]
+
+    def percentile(
+        self,
+        p: float,
+        window_s: float | None = None,
+        active_only: bool = True,
+    ) -> float:
+        """Sliding-window percentile of recent rates.
+
+        With ``active_only`` (the default), idle samples are dropped
+        first — the estimator answers "what does this link carry when
+        it carries something".  Returns 0 for an empty window; a single
+        sample is its own percentile for every ``p``.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100]: {p}")
+        rates = self.window(window_s)
+        if active_only:
+            rates = [r for r in rates if r > 0.0]
+        if not rates:
+            return 0.0
+        return float(np.percentile(rates, p))
+
+    def estimate(self, window_s: float | None = None) -> LinkEstimate:
+        """The full estimator bundle for this link."""
+        rates = self.window(window_s)
+        active = [r for r in rates if r > 0.0]
+        return LinkEstimate(
+            p50=float(np.percentile(active, 50)) if active else 0.0,
+            p95=float(np.percentile(active, 95)) if active else 0.0,
+            ewma=self.ewma,
+            samples=len(active),
+            last_time=self.last_time,
+        )
+
+
+class TelemetryStore:
+    """Cluster-wide store of per-link bandwidth telemetry.
+
+    ``record`` has the signature monitors publish with
+    (``on_sample(dc, time, rates)``), so a store instance can be handed
+    directly to :class:`~repro.net.monitor.WanMonitor`.
+    """
+
+    def __init__(
+        self,
+        window_s: float = DEFAULT_WINDOW_S,
+        maxlen: int = DEFAULT_MAXLEN,
+        ewma_alpha: float = DEFAULT_EWMA_ALPHA,
+    ) -> None:
+        self.window_s = window_s
+        self.maxlen = maxlen
+        self.ewma_alpha = ewma_alpha
+        self._series: dict[tuple[str, str], LinkSeries] = {}
+        self.total_samples = 0
+
+    # -- ingestion ------------------------------------------------------
+
+    def record(self, dc: str, time: float, rates_mbps: dict[str, float]) -> None:
+        """Ingest one monitor tick: ``dc``'s outgoing rates at ``time``."""
+        for dst, rate in rates_mbps.items():
+            self.series(dc, dst).add(time, rate)
+        self.total_samples += 1
+
+    # -- access ---------------------------------------------------------
+
+    def series(self, src: str, dst: str) -> LinkSeries:
+        """The (auto-created) series for one directed link."""
+        key = (src, dst)
+        found = self._series.get(key)
+        if found is None:
+            found = self._series[key] = LinkSeries(
+                self.maxlen, self.ewma_alpha
+            )
+        return found
+
+    def links(self) -> list[tuple[str, str]]:
+        """All links that have ever been sampled, sorted."""
+        return sorted(self._series)
+
+    def estimate(self, src: str, dst: str) -> LinkEstimate:
+        """Estimator bundle for one link over the store's window."""
+        return self.series(src, dst).estimate(self.window_s)
+
+    def capacity_mbps(
+        self, src: str, dst: str, percentile: float = 95.0
+    ) -> float:
+        """Sliding-window capacity estimate (p95 by default)."""
+        return self.series(src, dst).percentile(percentile, self.window_s)
+
+    def estimate_matrix(
+        self, keys: tuple[str, ...], percentile: float = 50.0
+    ) -> BandwidthMatrix:
+        """Percentile estimates for every ordered pair as a matrix.
+
+        Unsampled or idle pairs come out 0 — callers blend this with a
+        predicted matrix rather than consuming it raw.
+        """
+        out = BandwidthMatrix.zeros(keys)
+        for src, dst in out.pairs():
+            if (src, dst) in self._series:
+                out.set(src, dst, self.capacity_mbps(src, dst, percentile))
+        return out

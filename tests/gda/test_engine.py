@@ -4,7 +4,7 @@ import pytest
 
 from repro.gda.engine.cluster import GeoCluster
 from repro.gda.engine.dag import JobSpec, StageSpec
-from repro.gda.engine.engine import GdaEngine, _validate_placement
+from repro.gda.engine.engine import GdaEngine, validate_placement
 from repro.gda.systems.vanilla import LocalityPolicy
 from repro.net.dynamics import StaticModel
 
@@ -116,12 +116,12 @@ class TestMigration:
 class TestPlacementValidation:
     def test_fractions_must_sum_to_one(self):
         with pytest.raises(ValueError, match="sum"):
-            _validate_placement({"a": 0.5}, ("a", "b"))
+            validate_placement({"a": 0.5}, ("a", "b"))
 
     def test_unknown_dc_rejected(self):
         with pytest.raises(ValueError, match="unknown"):
-            _validate_placement({"z": 1.0}, ("a", "b"))
+            validate_placement({"z": 1.0}, ("a", "b"))
 
     def test_negative_fraction_rejected(self):
         with pytest.raises(ValueError, match="sum|negative"):
-            _validate_placement({"a": 1.5, "b": -0.5}, ("a", "b"))
+            validate_placement({"a": 1.5, "b": -0.5}, ("a", "b"))

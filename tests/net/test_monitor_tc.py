@@ -49,6 +49,108 @@ class TestWanMonitor:
         net.sim.run(until=10.0)
         assert len(monitor.samples) == 2
 
+    def test_history_ring_buffer_bounds_at_default_512(self, triad, calm):
+        """The default history=512 holds exactly the last 512 samples."""
+        net = NetworkSimulator(triad, fluctuation=calm)
+        monitor = WanMonitor(net, "us-east-1", interval_s=1.0)
+        assert monitor.history_limit == 512
+        net.sim.run(until=600.0)
+        assert len(monitor.samples) == 512
+        # Oldest retained tick is 600 - 512 + 1 = 89.
+        assert monitor.samples[0].time == pytest.approx(89.0)
+        assert monitor.samples[-1].time == pytest.approx(600.0)
+
+    def test_window_volume_accumulates_and_resets_per_destination(
+        self, triad, calm
+    ):
+        net = NetworkSimulator(triad, fluctuation=calm)
+        monitor = WanMonitor(net, "us-east-1", interval_s=1.0)
+        net.start_transfer("us-east-1", "us-west-1", 800.0)  # 100 MB
+        net.start_transfer("us-east-1", "ap-southeast-1", 80.0)  # 10 MB
+        net.sim.run()
+        # Each destination accumulates independently…
+        assert monitor.window_volume_mb("us-west-1") == pytest.approx(
+            100.0, rel=0.02
+        )
+        assert monitor.window_volume_mb("ap-southeast-1") == pytest.approx(
+            10.0, rel=0.02
+        )
+        # …and each read resets only its own anchor.
+        net.start_transfer("us-east-1", "us-west-1", 80.0)
+        net.sim.run()
+        assert monitor.window_volume_mb("us-west-1") == pytest.approx(
+            10.0, rel=0.02
+        )
+        assert monitor.window_volume_mb("ap-southeast-1") == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_rate_percentile_empty_history(self, triad, calm):
+        net = NetworkSimulator(triad, fluctuation=calm)
+        monitor = WanMonitor(net, "us-east-1", interval_s=1.0)
+        assert monitor.rate_percentile("us-west-1", 95.0) == 0.0
+
+    def test_rate_percentile_single_sample(self, triad, calm):
+        net = NetworkSimulator(triad, fluctuation=calm)
+        monitor = WanMonitor(net, "us-east-1", interval_s=1.0)
+        net.start_transfer("us-east-1", "us-west-1", 1e6)
+        net.sim.run(until=1.0)
+        only = monitor.latest_rate("us-west-1")
+        assert only > 0
+        for p in (0.0, 50.0, 100.0):
+            assert monitor.rate_percentile("us-west-1", p) == pytest.approx(
+                only
+            )
+
+    def test_rate_percentile_all_equal_rates(self, triad, calm):
+        net = NetworkSimulator(triad, fluctuation=calm)
+        monitor = WanMonitor(net, "us-east-1", interval_s=1.0)
+        net.start_transfer("us-east-1", "us-west-1", 1e6)
+        net.sim.run(until=20.0)
+        rates = {
+            s.rates_mbps["us-west-1"]
+            for s in monitor.samples
+        }
+        assert len(rates) == 1  # calm weather → constant rate
+        assert monitor.rate_percentile("us-west-1", 50.0) == pytest.approx(
+            rates.pop()
+        )
+
+    def test_rate_percentile_ignores_idle_samples(self, triad, calm):
+        net = NetworkSimulator(triad, fluctuation=calm)
+        monitor = WanMonitor(net, "us-east-1", interval_s=1.0)
+        net.sim.run(until=10.0)  # idle ticks only
+        net.start_transfer("us-east-1", "us-west-1", 1e5)
+        net.sim.run(until=12.0)
+        busy = monitor.latest_rate("us-west-1")
+        # Median over *active* samples is the busy rate, not ~0.
+        assert monitor.rate_percentile("us-west-1", 50.0) == pytest.approx(
+            busy
+        )
+
+    def test_rate_percentile_validates_range(self, triad, calm):
+        net = NetworkSimulator(triad, fluctuation=calm)
+        monitor = WanMonitor(net, "us-east-1", interval_s=1.0)
+        with pytest.raises(ValueError):
+            monitor.rate_percentile("us-west-1", -1.0)
+
+    def test_on_sample_publishes_every_tick(self, triad, calm):
+        net = NetworkSimulator(triad, fluctuation=calm)
+        published = []
+        monitor = WanMonitor(
+            net,
+            "us-east-1",
+            interval_s=1.0,
+            on_sample=lambda dc, t, rates: published.append((dc, t, rates)),
+        )
+        net.start_transfer("us-east-1", "us-west-1", 1e5)
+        net.sim.run(until=3.0)
+        assert len(published) == len(monitor.samples) == 3
+        dc, t, rates = published[-1]
+        assert dc == "us-east-1"
+        assert t == pytest.approx(3.0)
+        assert rates["us-west-1"] == monitor.latest_rate("us-west-1")
+
 
 class TestTrafficController:
     def test_limit_roundtrip(self):

@@ -1,0 +1,117 @@
+"""Tests for the drift detector."""
+
+import pytest
+
+from repro.net.matrix import BandwidthMatrix
+from repro.runtime.drift import DriftDetector, ReplanEvent
+from repro.runtime.telemetry import TelemetryStore
+
+
+def _store_with(dc, dst, times_rates):
+    store = TelemetryStore()
+    for t, rate in times_rates:
+        store.record(dc, t, {dst: rate})
+    return store
+
+
+def _matrix(keys, value):
+    matrix = BandwidthMatrix.zeros(keys)
+    for src, dst in matrix.pairs():
+        matrix.set(src, dst, value)
+    return matrix
+
+
+class TestDriftDetector:
+    def test_fires_on_sustained_degradation(self):
+        store = _store_with(
+            "a", "b", [(t, 100.0) for t in range(100, 110)]
+        )
+        detector = DriftDetector(
+            store, _matrix(("a", "b"), 400.0), threshold=0.45
+        )
+        event = detector.check(now=110.0)
+        assert isinstance(event, ReplanEvent)
+        assert (event.src, event.dst) == ("a", "b")
+        assert event.rel_error == pytest.approx(0.75)
+        assert detector.events == [event]
+        assert "a→b" in event.describe()
+
+    def test_quiet_when_prediction_accurate(self):
+        store = _store_with(
+            "a", "b", [(t, 380.0) for t in range(100, 110)]
+        )
+        detector = DriftDetector(
+            store, _matrix(("a", "b"), 400.0), threshold=0.45
+        )
+        assert detector.check(now=110.0) is None
+
+    def test_needs_min_samples(self):
+        store = _store_with("a", "b", [(100.0, 10.0)])
+        detector = DriftDetector(
+            store, _matrix(("a", "b"), 400.0), min_samples=3
+        )
+        assert detector.check(now=101.0) is None
+
+    def test_stale_telemetry_ignored(self):
+        store = _store_with(
+            "a", "b", [(t, 10.0) for t in range(10)]
+        )
+        detector = DriftDetector(
+            store, _matrix(("a", "b"), 400.0), freshness_s=60.0
+        )
+        assert detector.check(now=1000.0) is None
+
+    def test_idle_links_ignored(self):
+        store = _store_with(
+            "a", "b", [(t, 0.0) for t in range(100, 110)]
+        )
+        detector = DriftDetector(store, _matrix(("a", "b"), 400.0))
+        assert detector.check(now=110.0) is None
+
+    def test_weak_predictions_ignored(self):
+        store = _store_with(
+            "a", "b", [(t, 5.0) for t in range(100, 110)]
+        )
+        detector = DriftDetector(
+            store, _matrix(("a", "b"), 30.0), min_predicted_mbps=50.0
+        )
+        assert detector.check(now=110.0) is None
+
+    def test_cooldown_suppresses_event_storm(self):
+        store = _store_with(
+            "a", "b", [(t, 100.0) for t in range(100, 110)]
+        )
+        detector = DriftDetector(
+            store, _matrix(("a", "b"), 400.0), cooldown_s=100.0
+        )
+        assert detector.check(now=110.0) is not None
+        # Drift persists, but the cooldown holds.
+        store.record("a", 150.0, {"b": 100.0})
+        assert detector.check(now=150.0) is None
+        store.record("a", 211.0, {"b": 100.0})
+        assert detector.check(now=211.0) is not None
+
+    def test_rebase_installs_reference_and_rearms_cooldown(self):
+        store = _store_with(
+            "a", "b", [(t, 100.0) for t in range(100, 110)]
+        )
+        detector = DriftDetector(
+            store, _matrix(("a", "b"), 400.0), cooldown_s=50.0
+        )
+        assert detector.check(now=110.0) is not None
+        # Re-gauge says 100 Mbps is the new normal → no further events
+        # even after the cooldown expires.
+        detector.rebase(_matrix(("a", "b"), 105.0), now=110.0)
+        store.record("a", 170.0, {"b": 100.0})
+        assert detector.check(now=170.0) is None
+
+    def test_picks_worst_link(self):
+        store = TelemetryStore()
+        for t in range(100, 110):
+            store.record("a", t, {"b": 200.0, "c": 40.0})
+        detector = DriftDetector(
+            store, _matrix(("a", "b", "c"), 400.0), threshold=0.4
+        )
+        event = detector.check(now=110.0)
+        assert event is not None
+        assert (event.src, event.dst) == ("a", "c")

@@ -1,0 +1,125 @@
+"""Tests for the bandwidth-dynamics scenario library."""
+
+import pytest
+
+from repro.net.dynamics import FluctuationModel, StaticModel
+from repro.net.simulator import NetworkSimulator
+from repro.runtime.scenarios import (
+    FACTOR_FLOOR,
+    SCENARIOS,
+    DiurnalSwing,
+    FlashCrowd,
+    LinkDegradation,
+    ScenarioModel,
+    StepDrop,
+    scenario,
+    scenario_names,
+)
+
+
+class TestRegistry:
+    def test_at_least_four_named_scenarios(self):
+        assert len(SCENARIOS) >= 4
+
+    def test_expected_names_present(self):
+        names = scenario_names()
+        for expected in (
+            "diurnal",
+            "flash-crowd",
+            "link-degradation",
+            "link-failure",
+            "step-drop",
+        ):
+            assert expected in names
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="step-drop"):
+            scenario("no-such-thing")
+
+    def test_factories_are_deterministic(self):
+        for name in scenario_names():
+            a = scenario(name, seed=9)
+            b = scenario(name, seed=9)
+            for t in (0.0, 500.0, 2000.0):
+                assert a.factor(0, 1, t) == b.factor(0, 1, t)
+
+    def test_factors_positive_and_floored(self):
+        for name in scenario_names():
+            model = scenario(name, seed=3)
+            for t in (0.0, 700.0, 5000.0, 90000.0):
+                for i, j in ((0, 1), (1, 2), (2, 0)):
+                    assert model.factor(i, j, t) >= FACTOR_FLOOR
+
+    def test_diagonal_is_identity(self):
+        for name in scenario_names():
+            assert scenario(name, seed=3).factor(2, 2, 1234.0) == 1.0
+
+
+class TestShapes:
+    def test_step_drop_steps_once(self):
+        model = StepDrop(StaticModel(), seed=1, at_s=100.0, level=0.5)
+        assert model.factor(0, 1, 99.0) == pytest.approx(1.0)
+        assert model.factor(0, 1, 101.0) == pytest.approx(0.5)
+        assert model.factor(0, 1, 1e6) == pytest.approx(0.5)
+
+    def test_degradation_ramps_to_residual_and_stays(self):
+        model = LinkDegradation(
+            StaticModel(),
+            seed=1,
+            start_s=100.0,
+            ramp_s=100.0,
+            residual=0.2,
+            links=((0, 1),),
+        )
+        assert model.factor(0, 1, 50.0) == pytest.approx(1.0)
+        assert model.factor(0, 1, 150.0) == pytest.approx(0.6)
+        assert model.factor(0, 1, 500.0) == pytest.approx(0.2)
+        # Untargeted links are untouched.
+        assert model.factor(1, 0, 500.0) == pytest.approx(1.0)
+
+    def test_flash_crowd_recovers(self):
+        model = FlashCrowd(
+            StaticModel(),
+            seed=1,
+            start_s=100.0,
+            duration_s=200.0,
+            ramp_s=50.0,
+            depth=0.4,
+            hit_fraction=1.0,
+        )
+        assert model.factor(0, 1, 0.0) == pytest.approx(1.0)
+        assert model.factor(0, 1, 200.0) == pytest.approx(0.4)
+        assert model.factor(0, 1, 1000.0) == pytest.approx(1.0)
+
+    def test_diurnal_swings_within_amplitude(self):
+        model = DiurnalSwing(StaticModel(), seed=1, amplitude=0.35)
+        values = [model.factor(0, 1, t * 3600.0) for t in range(48)]
+        assert min(values) >= 1.0 - 0.35 - 1e-9
+        assert max(values) <= 1.0 + 1e-9
+        assert max(values) - min(values) > 0.2  # actually swings
+
+    def test_shape_composes_with_base_weather(self):
+        base = FluctuationModel(seed=5)
+        model = StepDrop(base, seed=5, at_s=0.0, level=0.5)
+        t = 1000.0
+        assert model.factor(0, 1, t) == pytest.approx(
+            max(base.factor(0, 1, t) * 0.5, FACTOR_FLOOR)
+        )
+
+    def test_snapshot_jitter_delegates_to_base(self):
+        base = FluctuationModel(seed=5)
+        model = ScenarioModel(base, seed=5)
+        assert model.snapshot_jitter(0, 1, 10.0, 1.0) == base.snapshot_jitter(
+            0, 1, 10.0, 1.0
+        )
+
+
+class TestPluggableIntoSimulator:
+    def test_simulator_consumes_scenario(self, triad):
+        """Transfers run slower after a step drop than before it."""
+        model = StepDrop(StaticModel(), seed=1, at_s=50.0, level=0.25)
+        net = NetworkSimulator(triad, fluctuation=model)
+        before = net.pair_capacity("us-east-1", "us-west-1", 1)
+        net.sim.run(until=60.0)
+        after = net.pair_capacity("us-east-1", "us-west-1", 1)
+        assert after == pytest.approx(before * 0.25, rel=1e-6)

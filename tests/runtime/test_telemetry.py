@@ -1,0 +1,119 @@
+"""Tests for the shared telemetry store and its estimators."""
+
+import pytest
+
+from repro.net.monitor import WanMonitor
+from repro.net.simulator import NetworkSimulator
+from repro.runtime.telemetry import LinkSeries, TelemetryStore
+
+
+class TestLinkSeries:
+    def test_empty_window_percentile_is_zero(self):
+        series = LinkSeries()
+        assert series.percentile(50) == 0.0
+        assert series.percentile(95) == 0.0
+        assert series.ewma == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        series = LinkSeries()
+        series.add(1.0, 250.0)
+        for p in (0, 50, 95, 100):
+            assert series.percentile(p) == pytest.approx(250.0)
+
+    def test_all_equal_rates(self):
+        series = LinkSeries()
+        for t in range(10):
+            series.add(float(t), 100.0)
+        assert series.percentile(50) == pytest.approx(100.0)
+        assert series.percentile(95) == pytest.approx(100.0)
+        assert series.ewma == pytest.approx(100.0)
+
+    def test_idle_samples_excluded_from_capacity(self):
+        series = LinkSeries()
+        for t in range(8):
+            series.add(float(t), 0.0)
+        series.add(8.0, 400.0)
+        # Active-only percentile sees just the one busy sample.
+        assert series.percentile(50) == pytest.approx(400.0)
+        # But the raw view (active_only=False) includes the idle ticks.
+        assert series.percentile(50, active_only=False) < 400.0
+
+    def test_sliding_window_drops_old_samples(self):
+        series = LinkSeries()
+        series.add(0.0, 1000.0)
+        for t in range(100, 110):
+            series.add(float(t), 100.0)
+        # A 20s window anchored at t=109 excludes the 1000 Mbps sample.
+        assert series.percentile(100, window_s=20.0) == pytest.approx(100.0)
+        # An unbounded window still sees it.
+        assert series.percentile(100) == pytest.approx(1000.0)
+
+    def test_bounded_history(self):
+        series = LinkSeries(maxlen=16)
+        for t in range(100):
+            series.add(float(t), float(t))
+        assert len(series.samples) == 16
+        assert series.samples[0][0] == 84.0
+
+    def test_ewma_tracks_recent_level(self):
+        series = LinkSeries(ewma_alpha=0.5)
+        series.add(0.0, 100.0)
+        series.add(1.0, 200.0)
+        assert series.ewma == pytest.approx(150.0)
+
+    def test_percentile_validates_range(self):
+        with pytest.raises(ValueError):
+            LinkSeries().percentile(101.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            LinkSeries(maxlen=0)
+        with pytest.raises(ValueError):
+            LinkSeries(ewma_alpha=0.0)
+
+
+class TestTelemetryStore:
+    def test_record_matches_monitor_signature(self):
+        store = TelemetryStore()
+        store.record("us-east-1", 5.0, {"us-west-1": 120.0, "eu-west-1": 0.0})
+        assert store.total_samples == 1
+        assert store.links() == [
+            ("us-east-1", "eu-west-1"),
+            ("us-east-1", "us-west-1"),
+        ]
+        assert store.capacity_mbps("us-east-1", "us-west-1") == pytest.approx(
+            120.0
+        )
+
+    def test_estimate_bundle(self):
+        store = TelemetryStore()
+        for t in range(5):
+            store.record("a", float(t), {"b": 100.0 + t})
+        estimate = store.estimate("a", "b")
+        assert estimate.samples == 5
+        assert estimate.last_time == 4.0
+        assert estimate.p50 == pytest.approx(102.0)
+        assert estimate.p95 >= estimate.p50
+
+    def test_estimate_matrix_leaves_unsampled_pairs_zero(self):
+        store = TelemetryStore()
+        store.record("a", 1.0, {"b": 300.0})
+        matrix = store.estimate_matrix(("a", "b"))
+        assert matrix.get("a", "b") == pytest.approx(300.0)
+        assert matrix.get("b", "a") == 0.0
+
+    def test_fed_by_live_monitor(self, triad, calm):
+        """A WanMonitor with the store as sink publishes every tick."""
+        net = NetworkSimulator(triad, fluctuation=calm)
+        store = TelemetryStore()
+        monitor = WanMonitor(
+            net, "us-east-1", interval_s=1.0, on_sample=store.record
+        )
+        net.start_transfer("us-east-1", "us-west-1", 1e5)
+        net.sim.run(until=10.0)
+        assert store.total_samples == len(monitor.samples) == 10
+        assert store.capacity_mbps("us-east-1", "us-west-1") > 0
+        # The store's latest matches the monitor's latest.
+        assert store.series(
+            "us-east-1", "us-west-1"
+        ).samples[-1][1] == pytest.approx(monitor.latest_rate("us-west-1"))

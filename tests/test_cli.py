@@ -155,6 +155,61 @@ class TestReport:
         assert "value = 1" in content
 
 
+class TestServe:
+    SMALL = (
+        "serve",
+        "us-east-1",
+        "us-west-1",
+        "ap-southeast-1",
+        "--jobs",
+        "3",
+        "--scale-mb",
+        "800",
+        "--datasets",
+        "6",
+        "--estimators",
+        "5",
+    )
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.scenario == "step-drop"
+        assert args.jobs == 6
+        assert args.max_concurrent == 3
+        assert not args.static
+
+    def test_unknown_scenario_fails_cleanly(self):
+        code, text = run_cli("serve", "--scenario", "meteor-strike")
+        assert code == 2
+        assert "meteor-strike" in text
+
+    def test_unknown_region_fails_cleanly(self):
+        code, text = run_cli("serve", "mars-north-1")
+        assert code == 2
+        assert "mars-north-1" in text
+
+    def test_small_service_end_to_end(self):
+        code, text = run_cli(*self.SMALL, "--scenario", "calm")
+        assert code == 0
+        assert "completed 3 jobs" in text
+        assert "wordcount-0" in text
+        assert "jobs/sim-hour" in text
+
+    def test_compare_prints_speedup(self):
+        code, text = run_cli(
+            *self.SMALL, "--scenario", "calm", "--compare"
+        )
+        assert code == 0
+        assert "static plan (no re-planning)" in text
+        assert "total-JCT speedup" in text
+
+    def test_deterministic_given_seed(self):
+        argv = (*self.SMALL, "--seed", "9")
+        _, first = run_cli(*argv)
+        _, second = run_cli(*argv)
+        assert first == second
+
+
 class TestProfiles:
     def test_topology_profile_flag(self):
         code, text = run_cli(
