@@ -10,7 +10,7 @@ Run:  python examples/ml_quantization.py
 """
 
 from repro.cloud.regions import PAPER_REGIONS
-from repro.core.interface import WANify, WANifyConfig
+from repro.pipeline import Pipeline, PipelineConfig
 from repro.gda.engine.cluster import GeoCluster
 from repro.gda.systems.sagq import MLModelSpec, SagqTrainer
 from repro.net.dynamics import FluctuationModel
@@ -31,26 +31,26 @@ def make_trainer(weather) -> SagqTrainer:
 def main() -> None:
     weather = FluctuationModel(seed=42)
     topology = Topology.build(PAPER_REGIONS, "t2.medium")
-    wanify = WANify(
+    pipeline = Pipeline(
         topology,
         weather,
-        WANifyConfig(n_training_datasets=40, n_estimators=30),
+        PipelineConfig(n_training_datasets=40, n_estimators=30),
     )
     print("training WANify...")
-    wanify.train()
+    pipeline.train()
 
     static = measure_independent(topology, weather, at_time=0.0).matrix
     simultaneous = stable_runtime(
         topology, weather, at_time=QUERY_TIME
     ).matrix
-    predicted = wanify.predict_runtime_bw(at_time=QUERY_TIME)
+    predicted = pipeline.predict(at_time=QUERY_TIME)
 
     runs = [
         ("NoQ", None, None),
         ("SAGQ", static, None),
         ("SimQ", simultaneous, None),
         ("PredQ", predicted, None),
-        ("WQ", predicted, wanify.deployment("wanify-tc", bw=predicted)),
+        ("WQ", predicted, pipeline.deployment("wanify-tc", bw=predicted)),
     ]
     print(
         f"\n{'variant':>7} {'train (min)':>12} {'network (min)':>14} "

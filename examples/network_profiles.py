@@ -16,7 +16,7 @@ single-connection floor, the more headroom parallel connections recover.
 Run:  python examples/network_profiles.py
 """
 
-from repro.core.interface import WANify, WANifyConfig
+from repro.pipeline import Pipeline, PipelineConfig
 from repro.gda.engine.cluster import GeoCluster
 from repro.gda.engine.engine import GdaEngine
 from repro.gda.systems.vanilla import LocalityPolicy
@@ -31,10 +31,10 @@ INPUT_GB = 8.0
 def run_profile(profile) -> dict:
     topology = Topology.build(REGIONS, "t2.medium", profile=profile)
     weather = profile.fluctuation(seed=42)
-    wanify = WANify(
-        topology, weather, WANifyConfig(n_training_datasets=25, n_estimators=20)
+    pipeline = Pipeline(
+        topology, weather, PipelineConfig(n_training_datasets=25, n_estimators=20)
     )
-    wanify.train()
+    pipeline.train()
 
     per_dc_mb = INPUT_GB * 1024.0 / len(REGIONS)
     job = terasort_job({dc: per_dc_mb for dc in topology.keys})
@@ -44,8 +44,8 @@ def run_profile(profile) -> dict:
     for variant in ("single", "wanify-tc"):
         cluster = GeoCluster.from_topology(topology, fluctuation=weather)
         engine = GdaEngine(cluster)
-        predicted = wanify.predict_runtime_bw(at_time=2 * 24 * 3600.0)
-        deployment = wanify.deployment(variant, predicted)
+        predicted = pipeline.predict(at_time=2 * 24 * 3600.0)
+        deployment = pipeline.deployment(variant, predicted)
         outcome = engine.run(job, policy, predicted, deployment)
         results[variant] = outcome
     return results

@@ -13,7 +13,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.cloud.regions import PAPER_REGIONS
-from repro.core.interface import WANify, WANifyConfig
+from repro.pipeline import Pipeline, PipelineConfig
 from repro.net.dynamics import FluctuationModel
 from repro.net.measurement import measure_independent, stable_runtime
 from repro.net.topology import Topology
@@ -24,12 +24,12 @@ def main() -> None:
     weather = FluctuationModel(seed=42)
 
     print("== 1. Train the WAN Prediction Model (offline module)")
-    wanify = WANify(
+    pipeline = Pipeline(
         topology,
         weather,
-        WANifyConfig(n_training_datasets=40, n_estimators=30),
+        PipelineConfig(n_training_datasets=40, n_estimators=30),
     )
-    summary = wanify.train()
+    summary = pipeline.train()
     print(
         f"   {summary['rows']:.0f} training rows, "
         f"accuracy {summary['train_accuracy_pct']:.2f}% "
@@ -39,7 +39,7 @@ def main() -> None:
 
     print("== 2. Predict runtime BW from a 1-second snapshot")
     query_time = 2 * 24 * 3600.0  # two days into the simulated week
-    predicted = wanify.predict_runtime_bw(at_time=query_time)
+    predicted = pipeline.predict(at_time=query_time)
     print(predicted.to_table())
     print(
         f"   min {predicted.min_bw():.0f} / mean {predicted.mean_bw():.0f} "
@@ -56,7 +56,7 @@ def main() -> None:
     )
 
     print("== 4. Global optimization: heterogeneous connection windows")
-    plan = wanify.make_plan(predicted)
+    plan = pipeline.plan(predicted)
     print("   max connections per pair:")
     print(plan.max_connections.to_table("{:4.0f}"))
     weak_src, weak_dst = min(

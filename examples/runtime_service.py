@@ -21,7 +21,7 @@ from repro.net.profiles import network_profile
 from repro.runtime.scenarios import StepDrop
 from repro.runtime.service import (
     ServiceConfig,
-    WANifyService,
+    PipelineService,
     default_job_mix,
 )
 
@@ -29,7 +29,7 @@ REGIONS = ("us-east-1", "us-west-1", "eu-west-1", "ap-southeast-1")
 SEED = 11
 
 
-def serve(online: bool) -> WANifyService:
+def serve(online: bool) -> PipelineService:
     config = ServiceConfig(
         regions=REGIONS,
         seed=SEED,
@@ -43,7 +43,7 @@ def serve(online: bool) -> WANifyService:
     # drift the offline training campaign never saw.
     base = network_profile(config.profile).fluctuation(seed=SEED)
     weather = StepDrop(base, SEED, at_s=240.0, level=0.35)
-    service = WANifyService.build(config, weather=weather)
+    service = PipelineService.build(config, weather=weather)
     for delay, job in default_job_mix(
         REGIONS, count=6, seed=SEED, scale_mb=4000.0
     ):

@@ -11,7 +11,7 @@ Run:  python examples/skewed_wordcount.py
 
 from repro.cloud.regions import PAPER_REGIONS
 from repro.core.heterogeneity import skew_weights_from_sizes
-from repro.core.interface import WANify, WANifyConfig
+from repro.pipeline import Pipeline, PipelineConfig
 from repro.gda.engine.cluster import GeoCluster
 from repro.gda.engine.engine import GdaEngine
 from repro.gda.engine.hdfs import HdfsStore
@@ -28,14 +28,14 @@ SKEW_TARGETS = ["us-east-1", "us-west-1", "ap-south-1", "ap-southeast-1"]
 def main() -> None:
     weather = FluctuationModel(seed=42)
     topology = Topology.build(PAPER_REGIONS, "t2.medium")
-    wanify = WANify(
+    pipeline = Pipeline(
         topology,
         weather,
-        WANifyConfig(n_training_datasets=40, n_estimators=30),
+        PipelineConfig(n_training_datasets=40, n_estimators=30),
     )
     print("training WANify...")
-    wanify.train()
-    predicted = wanify.predict_runtime_bw(at_time=QUERY_TIME)
+    pipeline.train()
+    predicted = pipeline.predict(at_time=QUERY_TIME)
 
     store = HdfsStore.uniform(PAPER_REGIONS, INPUT_MB, block_size_mb=64.0)
     store.skew_to(SKEW_TARGETS, fraction=0.85)
@@ -48,10 +48,10 @@ def main() -> None:
     ws = skew_weights_from_sizes(data)
 
     setups = {
-        "single-conn": wanify.deployment("single"),
-        "uniform-8": wanify.deployment("wanify-p", bw=predicted),
-        "wanify (no ws)": wanify.deployment("wanify-tc", bw=predicted),
-        "wanify (ws)": wanify.deployment(
+        "single-conn": pipeline.deployment("single"),
+        "uniform-8": pipeline.deployment("wanify-p", bw=predicted),
+        "wanify (no ws)": pipeline.deployment("wanify-tc", bw=predicted),
+        "wanify (ws)": pipeline.deployment(
             "wanify-tc", bw=predicted, skew_weights=ws
         ),
     }

@@ -10,7 +10,7 @@ Run:  python examples/terasort_parallel_transfer.py
 """
 
 from repro.cloud.regions import PAPER_REGIONS
-from repro.core.interface import WANify, WANifyConfig
+from repro.pipeline import Pipeline, PipelineConfig
 from repro.gda.engine.cluster import GeoCluster
 from repro.gda.engine.engine import GdaEngine
 from repro.gda.engine.hdfs import HdfsStore
@@ -27,14 +27,14 @@ def main() -> None:
     weather = FluctuationModel(seed=42)
     topology = Topology.build(PAPER_REGIONS, "t2.medium")
 
-    wanify = WANify(
+    pipeline = Pipeline(
         topology,
         weather,
-        WANifyConfig(n_training_datasets=40, n_estimators=30),
+        PipelineConfig(n_training_datasets=40, n_estimators=30),
     )
     print("training WANify...")
-    wanify.train()
-    predicted = wanify.predict_runtime_bw(at_time=QUERY_TIME)
+    pipeline.train()
+    predicted = pipeline.predict(at_time=QUERY_TIME)
 
     store = HdfsStore.uniform(PAPER_REGIONS, INPUT_GB * 1024.0)
     job = terasort_job(store.data_by_dc())
@@ -52,7 +52,7 @@ def main() -> None:
             fluctuation=weather,
             time_offset=QUERY_TIME,
         )
-        deployment = wanify.deployment(variant, bw=predicted)
+        deployment = pipeline.deployment(variant, bw=predicted)
         result = GdaEngine(cluster).run(
             job, LocalityPolicy(), deployment=deployment
         )

@@ -10,7 +10,7 @@ Run:  python examples/tpcds_gda_systems.py
 """
 
 from repro.cloud.regions import PAPER_REGIONS
-from repro.core.interface import WANify, WANifyConfig
+from repro.pipeline import Pipeline, PipelineConfig
 from repro.gda.engine.cluster import GeoCluster
 from repro.gda.engine.engine import GdaEngine
 from repro.gda.engine.hdfs import HdfsStore
@@ -27,16 +27,16 @@ QUERY_TIME = 2 * 24 * 3600.0 + 7.5 * 3600.0
 def main() -> None:
     weather = FluctuationModel(seed=42)
     topology = Topology.build(PAPER_REGIONS, "t2.medium")
-    wanify = WANify(
+    pipeline = Pipeline(
         topology,
         weather,
-        WANifyConfig(n_training_datasets=40, n_estimators=30),
+        PipelineConfig(n_training_datasets=40, n_estimators=30),
     )
     print("training WANify...")
-    wanify.train()
+    pipeline.train()
 
     static = measure_independent(topology, weather, at_time=0.0).matrix
-    predicted = wanify.predict_runtime_bw(at_time=QUERY_TIME)
+    predicted = pipeline.predict(at_time=QUERY_TIME)
     store = HdfsStore.uniform(PAPER_REGIONS, 100 * 1024.0)
 
     print(
@@ -64,7 +64,7 @@ def main() -> None:
                 job,
                 policy_cls(),
                 decision_bw=predicted,
-                deployment=wanify.deployment("wanify-tc", bw=predicted),
+                deployment=pipeline.deployment("wanify-tc", bw=predicted),
             )
             latency_gain = 100 * (base.jct_s - enabled.jct_s) / base.jct_s
             cost_gain = (

@@ -18,28 +18,41 @@ a flow-level WAN simulator:
 * :mod:`repro.experiments` — one module per paper table/figure, plus
   extensions such as the online-vs-static re-planning comparison.
 
-Most users start with the facade::
+* :mod:`repro.pipeline` — the composable public API: ``Protocol``-typed
+  stage contracts composed by one :class:`~repro.pipeline.core.Pipeline`
+  object, string-keyed registries for variants / policies / scenarios,
+  and the layered config system every entry point resolves through.
 
-    from repro import WANify, Topology, FluctuationModel, PAPER_REGIONS
+Most users start with the pipeline::
+
+    from repro import Pipeline, Topology, FluctuationModel, PAPER_REGIONS
 
     topology = Topology.build(PAPER_REGIONS, "t2.medium")
-    wanify = WANify(topology, FluctuationModel(seed=42))
-    wanify.train()
-    bw = wanify.predict_runtime_bw(at_time=3600.0)
-    plan = wanify.make_plan(bw)
+    pipe = Pipeline(topology, FluctuationModel(seed=42))
+    pipe.train()
+    bw = pipe.predict(at_time=3600.0)
+    plan = pipe.plan(bw)
+    deployment = pipe.deployment("wanify-tc", bw=bw)
 
 The runtime service is one import away (resolved lazily so the light
 facade stays light)::
 
-    from repro import ServiceConfig, WANifyService
+    from repro import PipelineService, ServiceConfig
 
-    service = WANifyService.build(ServiceConfig(scenario="step-drop"))
+    service = PipelineService.build(ServiceConfig(scenario="step-drop"))
     service.submit(job)
     service.run()
 
-See ``examples/quickstart.py`` and README.md for a guided tour, and
-``python -m repro --help`` for the command-line interface
-(``python -m repro serve`` drives the runtime service).
+Extensions register by name and are then reachable from every entry
+point (``deployment("my-variant")``, ``--policy kimchi``,
+``scenario("diurnal+flash-crowd")``)::
+
+    from repro import register_variant, register_policy, register_scenario
+
+The legacy ``WANify`` / ``WANifyService`` spellings remain as
+deprecated shims.  See ``examples/quickstart.py`` and README.md for a
+guided tour, and ``python -m repro --help`` for the command-line
+interface (``python -m repro serve`` drives the runtime service).
 """
 
 from repro.cloud.regions import PAPER_REGIONS
@@ -56,8 +69,28 @@ from repro.net.profiles import (
     network_profile,
 )
 from repro.net.topology import DataCenter, Topology
+from repro.pipeline import (
+    ConfigArguments,
+    Deployment,
+    DeploymentStrategy,
+    Gauger,
+    Pipeline,
+    PipelineConfig,
+    Planner,
+    Predictor,
+    Registry,
+    ServiceConfig,
+    layered_config,
+    placement_policy,
+    policy_registry,
+    register_policy,
+    register_scenario,
+    register_variant,
+    scenario_registry,
+    variant_registry,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Runtime-service names resolved lazily (PEP 562) — they pull in the
 #: GDA engine and scipy, which ``import repro`` alone should not pay
@@ -65,10 +98,11 @@ __version__ = "1.1.0"
 _LAZY_EXPORTS = {
     "DriftDetector": "repro.runtime.drift",
     "JobScheduler": "repro.runtime.scheduler",
+    "PipelineService": "repro.runtime.service",
     "SCENARIOS": "repro.runtime.scenarios",
-    "ServiceConfig": "repro.runtime.service",
     "TelemetryStore": "repro.runtime.telemetry",
     "WANifyService": "repro.runtime.service",
+    "register_scenario_model": "repro.runtime.scenarios",
     "scenario": "repro.runtime.scenarios",
 }
 
@@ -90,19 +124,30 @@ def __dir__() -> list[str]:
 __all__ = [
     "DriftDetector",
     "JobScheduler",
+    "PipelineService",
     "SCENARIOS",
-    "ServiceConfig",
     "TelemetryStore",
     "WANifyService",
+    "register_scenario_model",
     "scenario",
     "BandwidthMatrix",
+    "ConfigArguments",
     "DataCenter",
+    "Deployment",
+    "DeploymentStrategy",
     "EDGE_CLOUD",
     "FluctuationModel",
+    "Gauger",
     "GlobalPlan",
     "NetworkProfile",
     "PAPER_REGIONS",
     "PUBLIC_INTERNET",
+    "Pipeline",
+    "PipelineConfig",
+    "Planner",
+    "Predictor",
+    "Registry",
+    "ServiceConfig",
     "StaticModel",
     "Topology",
     "VPC_PEERING",
@@ -110,7 +155,15 @@ __all__ = [
     "WANifyConfig",
     "WANifyDeployment",
     "WanPredictionModel",
+    "layered_config",
     "network_profile",
     "optimize_connections",
+    "placement_policy",
+    "policy_registry",
+    "register_policy",
+    "register_scenario",
+    "register_variant",
+    "scenario_registry",
+    "variant_registry",
     "__version__",
 ]

@@ -18,6 +18,17 @@ command        what it does
 Every command is deterministic given ``--seed`` (the network weather is
 a pure function of it).  The module is import-safe: :func:`main` takes
 ``argv`` and an output stream, so tests drive it without subprocesses.
+
+``predict`` and ``serve`` resolve their knobs through the layered
+config system (:mod:`repro.pipeline.config`): most of their flags are
+*generated* from the :class:`~repro.pipeline.config.PipelineConfig` /
+:class:`~repro.pipeline.config.ServiceConfig` dataclass fields, and
+every generated flag can also come from a ``--config file.toml`` or a
+``WANIFY_*`` environment variable (explicit flags win).  Registered
+extensions plug in by name: ``--variant``, ``--policy``, and
+``--scenario`` all resolve through the
+:mod:`repro.pipeline.registry` registries, and ``--scenario`` composes
+with ``+`` (``diurnal+flash-crowd``).
 """
 
 from __future__ import annotations
@@ -28,13 +39,40 @@ import time
 from typing import IO, Optional
 
 from repro.cloud.regions import PAPER_REGIONS, region
-from repro.core.interface import WANify, WANifyConfig
 from repro.net.matrix import BandwidthMatrix
 from repro.net.measurement import measure_independent
 from repro.net.profiles import network_profile
 from repro.net.topology import Topology
+from repro.pipeline.config import (
+    ConfigArguments,
+    PipelineConfig,
+    ServiceConfig,
+)
+from repro.pipeline.core import Pipeline
+from repro.pipeline.registry import policy_registry, variant_registry
 
 _PROG = "python -m repro"
+
+#: Generated flags for ``predict`` — every :class:`PipelineConfig`
+#: field the command consumes, with its historical fast-training
+#: defaults (``variant``/``policy`` excluded: predict stops at the
+#: plan, so those flags would be accepted but dead).
+PREDICT_CONFIG = ConfigArguments(
+    PipelineConfig,
+    defaults={"seed": 42, "n_training_datasets": 40, "n_estimators": 30},
+    exclude=("variant", "policy"),
+)
+
+#: Generated flags for ``serve`` — every :class:`ServiceConfig` field
+#: (``regions`` stays positional, ``online`` is spelled ``--static``).
+SERVE_CONFIG = ConfigArguments(
+    ServiceConfig,
+    defaults={
+        "scenario": "step-drop",
+        "n_training_datasets": 16,
+        "n_estimators": 12,
+    },
+)
 
 
 def _experiment_registry():
@@ -123,24 +161,26 @@ def cmd_topology(args: argparse.Namespace, out: IO[str]) -> int:
 
 
 def cmd_predict(args: argparse.Namespace, out: IO[str]) -> int:
-    """Train WANify and print static vs predicted BWs plus the plan."""
+    """Train the pipeline and print static vs predicted BWs + the plan."""
     keys = tuple(args.regions) if args.regions else PAPER_REGIONS
+    try:
+        config = PREDICT_CONFIG.resolve(args)
+    except (OSError, ValueError) as exc:
+        out.write(f"bad configuration: {exc}\n")
+        return 2
     try:
         profile = network_profile(args.profile)
         topology = Topology.build(keys, args.vm, profile=profile)
     except KeyError as exc:
         out.write(f"{exc.args[0]}\n")
         return 2
-    weather = profile.fluctuation(seed=args.seed)
-    config = WANifyConfig(
-        n_training_datasets=args.datasets, n_estimators=args.estimators
-    )
-    wanify = WANify(topology, weather, config)
+    weather = profile.fluctuation(seed=config.seed)
+    pipeline = Pipeline(topology, weather, config)
     out.write(
-        f"training on {args.datasets} datasets "
-        f"({args.estimators} estimators) ...\n"
+        f"training on {config.n_training_datasets} datasets "
+        f"({config.n_estimators} estimators) ...\n"
     )
-    summary = wanify.train()
+    summary = pipeline.train()
     out.write(
         f"  rows={summary['rows']:.0f}  "
         f"target SD={summary['target_std_mbps']:.0f} Mbps  "
@@ -150,13 +190,13 @@ def cmd_predict(args: argparse.Namespace, out: IO[str]) -> int:
     static = measure_independent(topology, weather, at_time=0.0).matrix
     out.write("Static-independent BWs (Mbps, measured one pair at a time):\n")
     out.write(static.to_table())
-    predicted = wanify.predict_runtime_bw(at_time=args.at)
+    predicted = pipeline.predict(at_time=args.at)
     out.write(
         f"\n\nPredicted runtime BWs at t={args.at:.0f}s (Mbps):\n"
     )
     out.write(predicted.to_table())
 
-    plan = wanify.make_plan(predicted)
+    plan = pipeline.plan(predicted)
     out.write("\n\nOptimal connection windows (min–max per pair):\n")
     window = BandwidthMatrix.zeros(topology.keys)
     for src, dst in window.pairs():
@@ -202,24 +242,50 @@ def _render_service(svc, out: IO[str]) -> None:
 
 def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
     """Run the runtime service on a scenario; optionally compare modes."""
-    from repro.runtime.scenarios import scenario_names
-    from repro.runtime.service import (
-        ServiceConfig,
-        WANifyService,
-        default_job_mix,
-    )
+    import dataclasses
 
-    keys = tuple(args.regions) if args.regions else PAPER_REGIONS
-    if args.scenario not in scenario_names():
+    from repro.runtime.scenarios import scenario_known, scenario_names
+    from repro.runtime.service import PipelineService, default_job_mix
+
+    try:
+        # Positional regions are an explicit override; otherwise the
+        # config layers (file / WANIFY_REGIONS / dataclass default)
+        # decide.
+        if args.regions:
+            base_config = SERVE_CONFIG.resolve(
+                args, regions=tuple(args.regions)
+            )
+        else:
+            base_config = SERVE_CONFIG.resolve(args)
+    except (OSError, ValueError) as exc:
+        out.write(f"bad configuration: {exc}\n")
+        return 2
+    keys = base_config.regions
+    if base_config.scenario is not None and not scenario_known(
+        base_config.scenario
+    ):
         out.write(
-            f"unknown scenario {args.scenario!r}; "
-            f"known: {', '.join(scenario_names())}\n"
+            f"unknown scenario {base_config.scenario!r}; "
+            f"known: {', '.join(scenario_names())} "
+            f"(join with + to compose)\n"
+        )
+        return 2
+    if base_config.variant not in variant_registry:
+        out.write(
+            f"unknown variant {base_config.variant!r}; "
+            f"known: {', '.join(variant_registry.names())}\n"
+        )
+        return 2
+    if base_config.policy not in policy_registry:
+        out.write(
+            f"unknown placement policy {base_config.policy!r}; "
+            f"known: {', '.join(policy_registry.names())}\n"
         )
         return 2
     try:
         for key in keys:
             region(key)
-        network_profile(args.profile)
+        network_profile(base_config.profile)
     except KeyError as exc:
         out.write(f"{exc.args[0]}\n")
         return 2
@@ -229,30 +295,24 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
     if args.jobs < 1:
         out.write(f"--jobs must be ≥ 1 (got {args.jobs})\n")
         return 2
-    if args.max_concurrent < 1:
+    if base_config.max_concurrent < 1:
         out.write(
-            f"--max-concurrent must be ≥ 1 (got {args.max_concurrent})\n"
+            f"--max-concurrent must be ≥ 1 "
+            f"(got {base_config.max_concurrent})\n"
         )
         return 2
     if args.scale_mb <= 0:
         out.write(f"--scale-mb must be positive (got {args.scale_mb})\n")
         return 2
 
-    def run_once(online: bool) -> WANifyService:
-        config = ServiceConfig(
-            regions=keys,
-            vm=args.vm,
-            profile=args.profile,
-            seed=args.seed,
-            scenario=args.scenario,
-            online=online,
-            max_concurrent=args.max_concurrent,
-            n_training_datasets=args.datasets,
-            n_estimators=args.estimators,
-        )
-        service = WANifyService.build(config)
+    def run_once(online: bool) -> PipelineService:
+        config = dataclasses.replace(base_config, online=online)
+        service = PipelineService.build(config)
         mix = default_job_mix(
-            keys, count=args.jobs, seed=args.seed, scale_mb=args.scale_mb
+            keys,
+            count=args.jobs,
+            seed=config.seed,
+            scale_mb=args.scale_mb,
         )
         for delay, job in mix:
             service.submit_at(delay, job)
@@ -260,25 +320,28 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
         service.stop()
         return service
 
-    mode = "static plan" if args.static else "online re-planning"
+    # --static is an explicit override; otherwise the layered `online`
+    # knob (file / WANIFY_ONLINE / dataclass default True) decides.
+    primary_online = False if args.static else base_config.online
+    mode = "online re-planning" if primary_online else "static plan"
     out.write(
         f"serving {args.jobs} jobs on {len(keys)} DCs, scenario "
-        f"{args.scenario!r}, {mode} (seed {args.seed})\n\n"
+        f"{base_config.scenario!r}, {mode} (seed {base_config.seed})\n\n"
     )
-    primary = run_once(online=not args.static)
+    primary = run_once(online=primary_online)
     _render_service(primary, out)
     if args.compare:
         # The comparison run is always the *opposite* mode, so
         # `--static --compare` works too.
         other_mode = (
-            "online re-planning" if args.static else
-            "static plan (no re-planning)"
+            "static plan (no re-planning)" if primary_online else
+            "online re-planning"
         )
         out.write(f"\n-- comparison: {other_mode} --\n\n")
-        other = run_once(online=args.static)
+        other = run_once(online=not primary_online)
         _render_service(other, out)
         online_svc, static_svc = (
-            (other, primary) if args.static else (primary, other)
+            (primary, other) if primary_online else (other, primary)
         )
         online_total = online_svc.summary().total_jct_s
         static_total = static_svc.summary().total_jct_s
@@ -330,7 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_pred = sub.add_parser(
-        "predict", help="train WANify and print predicted BWs + plan"
+        "predict", help="train the pipeline and print predicted BWs + plan"
     )
     p_pred.add_argument(
         "regions", nargs="*", help="region keys (default: the paper's 8)"
@@ -341,16 +404,10 @@ def build_parser() -> argparse.ArgumentParser:
         default="vpc-peering",
         help="network profile: vpc-peering, public-internet, edge-cloud",
     )
-    p_pred.add_argument("--seed", type=int, default=42, help="weather seed")
     p_pred.add_argument(
         "--at", type=float, default=7.5 * 3600.0, help="prediction time (s)"
     )
-    p_pred.add_argument(
-        "--datasets", type=int, default=40, help="training datasets"
-    )
-    p_pred.add_argument(
-        "--estimators", type=int, default=30, help="forest size"
-    )
+    PREDICT_CONFIG.install(p_pred)
 
     p_serve = sub.add_parser(
         "serve",
@@ -359,19 +416,6 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "regions", nargs="*", help="region keys (default: the paper's 8)"
     )
-    p_serve.add_argument("--vm", default="t2.medium", help="VM type key")
-    p_serve.add_argument(
-        "--profile",
-        default="vpc-peering",
-        help="network profile: vpc-peering, public-internet, edge-cloud",
-    )
-    p_serve.add_argument(
-        "--scenario",
-        default="step-drop",
-        help="bandwidth scenario: calm, diurnal, flash-crowd, "
-        "link-degradation, link-failure, step-drop",
-    )
-    p_serve.add_argument("--seed", type=int, default=42, help="weather seed")
     p_serve.add_argument(
         "--jobs", type=int, default=6, help="jobs in the submission mix"
     )
@@ -380,12 +424,6 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=4000.0,
         help="per-job input volume (MB)",
-    )
-    p_serve.add_argument(
-        "--max-concurrent",
-        type=int,
-        default=3,
-        help="concurrent jobs admitted",
     )
     p_serve.add_argument(
         "--duration",
@@ -403,12 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the static baseline and print the speedup",
     )
-    p_serve.add_argument(
-        "--datasets", type=int, default=16, help="training datasets"
-    )
-    p_serve.add_argument(
-        "--estimators", type=int, default=12, help="forest size"
-    )
+    SERVE_CONFIG.install(p_serve)
     return parser
 
 
@@ -425,6 +458,11 @@ _COMMANDS = {
 def main(argv: Optional[list[str]] = None, out: Optional[IO[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
+    if argv is None:
+        argv = sys.argv[1:]
     args = parser.parse_args(argv)
+    # The raw argv lets the config layer distinguish flags actually
+    # typed from parser defaults (see ConfigArguments.resolve).
+    args._argv = list(argv)
     stream = out if out is not None else sys.stdout
     return _COMMANDS[args.command](args, stream)

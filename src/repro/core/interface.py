@@ -1,12 +1,20 @@
-"""WANify Interface (§4.1) — the facade GDA systems invoke.
+"""WANify Interface (§4.1) — the legacy facade, now a thin shim.
 
-Typical use, mirroring Fig. 3's architecture::
+.. deprecated::
+    The public API moved to :mod:`repro.pipeline`.  :class:`WANify` is
+    a back-compat subclass of :class:`repro.pipeline.Pipeline` that
+    keeps the original spellings working (``predict_runtime_bw`` →
+    ``predict``, ``make_plan`` → ``plan``, ``snapshot_report`` →
+    ``gauge``) and emits a :class:`DeprecationWarning` on
+    construction.  New code composes the pipeline directly::
 
-    wanify = WANify(topology, fluctuation)
-    wanify.train()                                  # offline module
-    bw = wanify.predict_runtime_bw(at_time=t)       # online: RF + snapshot
-    plan = wanify.make_plan(bw)                     # global optimizer
-    deployment = wanify.deployment("wanify-tc", bw) # agents + throttles
+        from repro.pipeline import Pipeline
+
+        pipe = Pipeline(topology, fluctuation)
+        pipe.train()                                  # offline module
+        bw = pipe.predict(at_time=t)                  # online: RF + snapshot
+        plan = pipe.plan(bw)                          # global optimizer
+        deployment = pipe.deployment("wanify-tc", bw) # agents + throttles
 
 The named variants reproduce the evaluation's baselines:
 
@@ -21,162 +29,71 @@ variant            meaning (paper section)
 ``global-only``    global optimizer output applied statically (§5.5)
 ``local-only``     AIMD within a static 1–8 window (§5.5)
 =================  ====================================================
+
+New variants register via ``@repro.pipeline.register_variant`` and are
+immediately constructible here too — :data:`VARIANTS` is a snapshot of
+the built-ins kept for legacy imports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import Optional
 
-import numpy as np
-
-from repro.core.agent import LocalAgent, deploy_agents
-from repro.core.analyzer import BandwidthAnalyzer
-from repro.core.globalopt import (
-    DEFAULT_MAX_CONNECTIONS,
-    GlobalPlan,
-    optimize_connections,
-    static_range_plan,
-    uniform_plan,
-)
-from repro.core.predictor import WanPredictionModel
-from repro.core.throttle import apply_throttles
+from repro.core.globalopt import GlobalPlan
 from repro.net.dynamics import FluctuationModel, StaticModel
 from repro.net.matrix import BandwidthMatrix
-from repro.net.measurement import MeasurementReport, snapshot
-from repro.net.simulator import NetworkSimulator
+from repro.net.measurement import MeasurementReport
 from repro.net.topology import Topology
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.core import Pipeline
+from repro.pipeline.deploy import Deployment, WANifyDeployment  # noqa: F401
+from repro.pipeline.registry import variant_registry
 
-VARIANTS = (
-    "single",
-    "wanify-p",
-    "wanify-dynamic",
-    "wanify-tc",
-    "global-only",
-    "local-only",
-)
-
-
-@dataclass(frozen=True)
-class WANifyConfig:
-    """Tunables for the whole pipeline (defaults follow the paper)."""
-
-    max_connections: int = DEFAULT_MAX_CONNECTIONS
-    min_difference_mbps: float = 100.0
-    n_training_datasets: int = 120
-    n_estimators: int = 100
-    seed: int = 13
+#: Snapshot of the built-in variant names (legacy import surface; the
+#: live source of truth is ``repro.pipeline.variant_registry``).
+VARIANTS = variant_registry.names()
 
 
-@dataclass
-class WANifyDeployment:
-    """What to install on a network before running a query."""
-
-    variant: str
-    plan: Optional[GlobalPlan]
-    agents: bool
-    throttling: bool
-    agents_running: list[LocalAgent] = field(default_factory=list)
-    #: Agents stopped by teardown, kept for post-run inspection (the
-    #: Fig. 9 analysis reads their AIMD epoch histories).
-    retired_agents: list[LocalAgent] = field(default_factory=list)
-
-    def install(self, network: NetworkSimulator) -> None:
-        """Apply connection counts / throttles / agents to the network."""
-        if self.plan is None:
-            return
-        if self.agents:
-            # Agents set their own initial (max) counts and throttles.
-            self.agents_running = deploy_agents(
-                network, self.plan, throttling=self.throttling
-            )
-            return
-        plan = self.plan
-        if self.variant == "global-only":
-            # Without local agents there is no AIMD to back off from the
-            # optimistic maximum, so a static deployment pins the
-            # window's midpoint — the sustainable configuration.
-            counts = plan.max_connections.copy()
-            counts.values = np.ceil(
-                (plan.min_connections.values + plan.max_connections.values)
-                / 2.0
-            )
-        else:
-            counts = plan.max_connections.copy()
-        counts.values[counts.values < 1] = 1
-        network.set_connection_plan(counts)
-        if self.throttling:
-            for src in plan.keys:
-                apply_throttles(plan, network.tc, src)
-
-    def teardown(self, network: NetworkSimulator) -> None:
-        """Stop agents and clear throttles (agents stay inspectable)."""
-        for agent in self.agents_running:
-            agent.stop()
-        self.retired_agents.extend(self.agents_running)
-        self.agents_running = []
-        network.tc.clear_all()
+class WANifyConfig(PipelineConfig):
+    """Legacy spelling of :class:`repro.pipeline.PipelineConfig`."""
 
 
-class WANify:
-    """End-to-end WANify: offline training + online optimization."""
+class WANify(Pipeline):
+    """Deprecated facade — use :class:`repro.pipeline.Pipeline`.
+
+    Keeps the PR-0 constructor and method spellings intact for existing
+    callers and tests; everything delegates to the composed pipeline.
+    """
 
     def __init__(
         self,
         topology: Topology,
         fluctuation: FluctuationModel | StaticModel | None = None,
-        config: WANifyConfig = WANifyConfig(),
+        config: Optional[PipelineConfig] = None,
     ) -> None:
-        self.topology = topology
-        self.fluctuation = (
-            fluctuation if fluctuation is not None else StaticModel()
+        warnings.warn(
+            "WANify is deprecated; use repro.pipeline.Pipeline "
+            "(predict_runtime_bw→predict, make_plan→plan, "
+            "snapshot_report→gauge)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.config = config
-        self.predictor = WanPredictionModel(
-            n_estimators=config.n_estimators, random_state=config.seed
-        )
-        self.analyzer = BandwidthAnalyzer(
-            topology,
-            self.fluctuation
-            if isinstance(self.fluctuation, FluctuationModel)
-            else FluctuationModel(seed=config.seed),
-            n_datasets=config.n_training_datasets,
-            seed=config.seed,
-        )
-        self._trained = False
-
-    # ------------------------------------------------------------------
-    # Offline module
-    # ------------------------------------------------------------------
-
-    def train(self) -> dict[str, float]:
-        """Collect datasets and fit the prediction model.
-
-        Returns a summary: rows, target SD (paper: ~184 Mbps), training
-        accuracy (paper: 98.51%), and collection cost in dollars.
-        """
-        training = self.analyzer.collect()
-        self.predictor.fit(training)
-        self._trained = True
-        return {
-            "rows": float(len(training)),
-            "target_std_mbps": training.target_std(),
-            "train_accuracy_pct": self.predictor.train_accuracy,
-            "collection_cost_usd": self.analyzer.last_cost.dollars,
-        }
+        super().__init__(topology, fluctuation, config)
 
     @property
-    def is_trained(self) -> bool:
-        """Whether the prediction model has been fitted."""
-        return self._trained
+    def fluctuation(self):
+        """Legacy name for the pipeline's weather model."""
+        return self.weather
 
-    # ------------------------------------------------------------------
-    # Online module
-    # ------------------------------------------------------------------
+    @property
+    def analyzer(self):
+        """Legacy name for the default predictor's Bandwidth Analyzer."""
+        return self.predictor.analyzer
 
     def snapshot_report(self, at_time: float = 0.0) -> MeasurementReport:
         """Take a 1-second snapshot of the current network state."""
-        return snapshot(self.topology, self.fluctuation, at_time)
+        return self.gauge(at_time=at_time)
 
     def predict_runtime_bw(
         self,
@@ -184,17 +101,8 @@ class WANify:
         report: Optional[MeasurementReport] = None,
         topology: Optional[Topology] = None,
     ) -> BandwidthMatrix:
-        """Snapshot (or use ``report``) and predict stable runtime BWs.
-
-        ``topology`` may be a subset of the training topology — the model
-        is trained across cluster sizes (§3.3.2).
-        """
-        if not self._trained:
-            raise RuntimeError("call train() before predicting")
-        topology = topology or self.topology
-        if report is None:
-            report = snapshot(topology, self.fluctuation, at_time)
-        return self.predictor.predict_matrix(report, topology)
+        """Legacy spelling of :meth:`repro.pipeline.Pipeline.predict`."""
+        return self.predict(at_time=at_time, report=report, topology=topology)
 
     def make_plan(
         self,
@@ -202,43 +110,5 @@ class WANify:
         skew_weights: Optional[dict[str, float]] = None,
         rvec: Optional[dict[str, float]] = None,
     ) -> GlobalPlan:
-        """Global optimization on a (predicted) runtime BW matrix."""
-        return optimize_connections(
-            bw,
-            max_connections=self.config.max_connections,
-            min_difference=self.config.min_difference_mbps,
-            skew_weights=skew_weights,
-            rvec=rvec,
-        )
-
-    def deployment(
-        self,
-        variant: str,
-        bw: Optional[BandwidthMatrix] = None,
-        at_time: float = 0.0,
-        skew_weights: Optional[dict[str, float]] = None,
-        rvec: Optional[dict[str, float]] = None,
-    ) -> WANifyDeployment:
-        """Build a deployment for one of the named evaluation variants."""
-        if variant not in VARIANTS:
-            raise ValueError(
-                f"unknown variant {variant!r}; choose from {VARIANTS}"
-            )
-        if variant == "single":
-            return WANifyDeployment(variant, None, False, False)
-        if bw is None:
-            bw = self.predict_runtime_bw(at_time)
-        if variant == "wanify-p":
-            plan = uniform_plan(bw, self.config.max_connections)
-            return WANifyDeployment(variant, plan, False, False)
-        if variant == "local-only":
-            plan = static_range_plan(
-                bw, 1, self.config.max_connections
-            )
-            return WANifyDeployment(variant, plan, True, True)
-        plan = self.make_plan(bw, skew_weights, rvec)
-        if variant == "global-only":
-            return WANifyDeployment(variant, plan, False, False)
-        if variant == "wanify-dynamic":
-            return WANifyDeployment(variant, plan, True, False)
-        return WANifyDeployment(variant, plan, True, True)
+        """Legacy spelling of :meth:`repro.pipeline.Pipeline.plan`."""
+        return self.plan(bw, skew_weights=skew_weights, rvec=rvec)

@@ -2,7 +2,7 @@
 
 Centralizes the things every experiment needs — the 8-region worker and
 probe topologies, the network-weather model, and a memoized trained
-WANify instance (training takes seconds; a dozen experiments shouldn't
+Pipeline instance (training takes seconds; a dozen experiments shouldn't
 repeat it) — plus small formatting helpers for the rendered tables.
 """
 
@@ -11,7 +11,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.cloud.regions import PAPER_REGIONS
-from repro.core.interface import WANify, WANifyConfig
+from repro.pipeline import Pipeline, PipelineConfig
 from repro.net.dynamics import FluctuationModel
 from repro.net.topology import Topology
 
@@ -20,8 +20,8 @@ WEATHER_SEED = 42
 
 #: Fast settings keep the full suite comfortably under a minute per
 #: experiment; full settings match the paper's 100-estimator model.
-FAST_CONFIG = WANifyConfig(n_training_datasets=40, n_estimators=30)
-FULL_CONFIG = WANifyConfig(n_training_datasets=120, n_estimators=100)
+FAST_CONFIG = PipelineConfig(n_training_datasets=40, n_estimators=30)
+FULL_CONFIG = PipelineConfig(n_training_datasets=120, n_estimators=100)
 
 #: Simulation-time instants (seconds into the simulated week) used as
 #: "different times of the day" in the evaluation.
@@ -47,17 +47,21 @@ def probe_topology(region_keys: tuple[str, ...] = PAPER_REGIONS) -> Topology:
 
 
 @lru_cache(maxsize=8)
-def trained_wanify(
+def trained_pipeline(
     fast: bool = True,
     vm_key: str = "t2.medium",
     seed: int = WEATHER_SEED,
-) -> WANify:
-    """A WANify instance trained on the worker topology (memoized)."""
+) -> Pipeline:
+    """A Pipeline instance trained on the worker topology (memoized)."""
     topology = Topology.build(PAPER_REGIONS, vm_key)
     config = FAST_CONFIG if fast else FULL_CONFIG
-    wanify = WANify(topology, fluctuation(seed), config)
-    wanify.train()
-    return wanify
+    pipeline = Pipeline(topology, fluctuation(seed), config)
+    pipeline.train()
+    return pipeline
+
+
+#: Deprecated spelling kept for downstream callers.
+trained_wanify = trained_pipeline
 
 
 def improvement_pct(baseline: float, value: float) -> float:

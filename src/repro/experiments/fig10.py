@@ -49,12 +49,12 @@ def skewed_store() -> HdfsStore:
 
 def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
     """Run the four variants on both systems."""
-    wanify = common.trained_wanify(fast)
+    pipeline = common.trained_pipeline(fast)
     weather = common.fluctuation()
     store = skewed_store()
     data = store.data_by_dc()
     job = wordcount_job(data, intermediate_mb=INPUT_MB, name="wordcount-skew")
-    predicted = wanify.predict_runtime_bw(at_time=at_time)
+    predicted = pipeline.predict(at_time=at_time)
     ws = skew_weights_from_sizes(data)
 
     out = {}
@@ -63,10 +63,10 @@ def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
     ):
         variants = {}
         specs = {
-            "single": wanify.deployment("single"),
-            "uniform": wanify.deployment("wanify-p", bw=predicted),
-            "wanify-ns": wanify.deployment("wanify-tc", bw=predicted),
-            "wanify-ws": wanify.deployment(
+            "single": pipeline.deployment("single"),
+            "uniform": pipeline.deployment("wanify-p", bw=predicted),
+            "wanify-ns": pipeline.deployment("wanify-tc", bw=predicted),
+            "wanify-ws": pipeline.deployment(
                 "wanify-tc", bw=predicted, skew_weights=ws
             ),
         }

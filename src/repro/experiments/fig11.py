@@ -31,7 +31,7 @@ def _count_significant(candidate, runtime) -> int:
 
 def run(fast: bool = True, at_time: float = common.ALT_EVAL_TIME) -> dict:
     """Count significant differences for both heterogeneity axes."""
-    wanify = common.trained_wanify(fast)
+    pipeline = common.trained_pipeline(fast)
     weather = common.fluctuation()
     full = common.worker_topology()
     rng = np.random.default_rng(17)
@@ -46,7 +46,7 @@ def run(fast: bool = True, at_time: float = common.ALT_EVAL_TIME) -> dict:
         sub = full.subset(keys)
         static = measure_independent(sub, weather, at_time=0.0).matrix
         runtime = stable_runtime(sub, weather, at_time=at_time).matrix
-        predicted = wanify.predict_runtime_bw(
+        predicted = pipeline.predict(
             at_time=at_time, topology=sub
         )
         by_size[size] = {
@@ -63,7 +63,7 @@ def run(fast: bool = True, at_time: float = common.ALT_EVAL_TIME) -> dict:
         hetero = Topology.build(PAPER_REGIONS, "t2.medium", vms)
         static = measure_independent(hetero, weather, at_time=0.0).matrix
         runtime = stable_runtime(hetero, weather, at_time=at_time).matrix
-        per_vm_pred = wanify.predict_runtime_bw(at_time=at_time)
+        per_vm_pred = pipeline.predict(at_time=at_time)
         predicted = associated_bw(per_vm_pred, vms)
         by_extra[extra] = {
             "static_significant": _count_significant(static, runtime),

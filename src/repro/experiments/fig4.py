@@ -36,13 +36,13 @@ PAPER = {
 
 def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
     """Train all five variants and compare time/cost/min BW."""
-    wanify = common.trained_wanify(fast)
+    pipeline = common.trained_pipeline(fast)
     weather = common.fluctuation()
     topology = common.worker_topology()
 
     static = measure_independent(topology, weather, at_time=0.0).matrix
     simultaneous = stable_runtime(topology, weather, at_time=at_time).matrix
-    predicted = wanify.predict_runtime_bw(at_time=at_time)
+    predicted = pipeline.predict(at_time=at_time)
 
     def trainer() -> SagqTrainer:
         cluster = GeoCluster.build(
@@ -58,7 +58,7 @@ def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
         "PredQ": trainer().run("PredQ", decision_bw=predicted),
     }
     wq_trainer = trainer()
-    deployment = wanify.deployment("wanify-tc", bw=predicted)
+    deployment = pipeline.deployment("wanify-tc", bw=predicted)
     results["WQ"] = wq_trainer.run(
         "WQ", decision_bw=predicted, deployment=deployment
     )

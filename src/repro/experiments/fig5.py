@@ -44,11 +44,11 @@ PAPER_TC_MIN_BW = 790.0
 
 def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
     """Run the four §5.3.1 variants on 100 GB TeraSort."""
-    wanify = common.trained_wanify(fast)
+    pipeline = common.trained_pipeline(fast)
     weather = common.fluctuation()
     store = HdfsStore.uniform(PAPER_REGIONS, INPUT_MB)
     job = terasort_job(store.data_by_dc())
-    predicted = wanify.predict_runtime_bw(at_time=at_time)
+    predicted = pipeline.predict(at_time=at_time)
 
     results = {}
     for variant in ("single", "wanify-p", "wanify-dynamic", "wanify-tc"):
@@ -58,7 +58,7 @@ def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
             fluctuation=weather,
             time_offset=at_time,
         )
-        deployment = wanify.deployment(variant, bw=predicted)
+        deployment = pipeline.deployment(variant, bw=predicted)
         outcome = GdaEngine(cluster).run(
             job, LocalityPolicy(), deployment=deployment
         )

@@ -33,10 +33,10 @@ PAPER_CROSSOVER_MB = 7.4
 
 def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
     """Sweep intermediate sizes with and without WANify-TC."""
-    wanify = common.trained_wanify(fast)
+    pipeline = common.trained_pipeline(fast)
     weather = common.fluctuation()
     store = HdfsStore.uniform(PAPER_REGIONS, INPUT_MB, block_size_mb=64.0)
-    predicted = wanify.predict_runtime_bw(at_time=at_time)
+    predicted = pipeline.predict(at_time=at_time)
 
     rows = []
     for size in INTERMEDIATE_MB:
@@ -49,7 +49,7 @@ def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
                 fluctuation=weather,
                 time_offset=at_time,
             )
-            deployment = wanify.deployment(variant, bw=predicted)
+            deployment = pipeline.deployment(variant, bw=predicted)
             outcomes[variant] = GdaEngine(cluster).run(
                 job, LocalityPolicy(), deployment=deployment
             )

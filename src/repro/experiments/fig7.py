@@ -31,11 +31,11 @@ PAPER_MIN_BW_RATIO = 3.3
 
 def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
     """Run every query on both systems, with and without WANify."""
-    wanify = common.trained_wanify(fast)
+    pipeline = common.trained_pipeline(fast)
     weather = common.fluctuation()
     topology = common.worker_topology()
     static = measure_independent(topology, weather, at_time=0.0).matrix
-    predicted = wanify.predict_runtime_bw(at_time=at_time)
+    predicted = pipeline.predict(at_time=at_time)
 
     store = HdfsStore.uniform(PAPER_REGIONS, INPUT_MB)
     table = {}
@@ -56,7 +56,7 @@ def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
                 PAPER_REGIONS, "t2.medium",
                 fluctuation=weather, time_offset=at_time,
             )
-            deployment = wanify.deployment("wanify-tc", bw=predicted)
+            deployment = pipeline.deployment("wanify-tc", bw=predicted)
             enabled = GdaEngine(cluster).run(
                 job, policy_cls(), decision_bw=predicted, deployment=deployment
             )

@@ -70,11 +70,11 @@ def _run(
 
 def run(fast: bool = True, at_time: float = common.ALT_EVAL_TIME) -> dict:
     """Run the ablation and the error-injection comparison."""
-    wanify = common.trained_wanify(fast)
+    pipeline = common.trained_pipeline(fast)
     weather = common.fluctuation()
     topology = common.worker_topology()
     static = measure_independent(topology, weather, at_time=0.0).matrix
-    predicted = wanify.predict_runtime_bw(at_time=at_time)
+    predicted = pipeline.predict(at_time=at_time)
     store = HdfsStore.uniform(PAPER_REGIONS, INPUT_MB)
     job = tpcds_job(QUERY, store.data_by_dc())
 
@@ -86,15 +86,15 @@ def run(fast: bool = True, at_time: float = common.ALT_EVAL_TIME) -> dict:
         vanilla = _run(policy_cls(), job, weather, at_time, static)
         global_only = _run(
             policy_cls(), job, weather, at_time, predicted,
-            wanify.deployment("global-only", bw=predicted),
+            pipeline.deployment("global-only", bw=predicted),
         )
         local_only = _run(
             policy_cls(), job, weather, at_time, predicted,
-            wanify.deployment("local-only", bw=predicted),
+            pipeline.deployment("local-only", bw=predicted),
         )
         full = _run(
             policy_cls(), job, weather, at_time, predicted,
-            wanify.deployment("wanify-tc", bw=predicted),
+            pipeline.deployment("wanify-tc", bw=predicted),
         )
         ablation[system] = {
             "vanilla_min": vanilla.jct_minutes,
@@ -122,14 +122,14 @@ def run(fast: bool = True, at_time: float = common.ALT_EVAL_TIME) -> dict:
     # averaged over sign patterns (one ±100 draw is high-variance).
     clean = _run(
         TetriumPolicy(), job, weather, at_time, predicted,
-        wanify.deployment("wanify-tc", bw=predicted),
+        pipeline.deployment("wanify-tc", bw=predicted),
     )
     latency_deltas, cost_deltas, bw_drops = [], [], []
     for seed in (3, 5, 11):
         noisy_bw = perturbed_matrix(predicted, seed=seed)
         err = _run(
             TetriumPolicy(), job, weather, at_time, noisy_bw,
-            wanify.deployment("wanify-tc", bw=noisy_bw),
+            pipeline.deployment("wanify-tc", bw=noisy_bw),
         )
         latency_deltas.append(
             -common.improvement_pct(clean.jct_s, err.jct_s)

@@ -101,15 +101,15 @@ def _epoch_stats(history) -> tuple[list[float], list[float], list[float]]:
 
 
 def _run_with_optimizer(
-    wanify, weather, at_time, noisy: bool
+    pipeline, weather, at_time, noisy: bool
 ) -> tuple[list[float], list[float]]:
-    predicted = wanify.predict_runtime_bw(at_time=at_time)
+    predicted = pipeline.predict(at_time=at_time)
     cluster = GeoCluster.build(
         PAPER_REGIONS, "t2.medium", fluctuation=weather, time_offset=at_time
     )
     store = HdfsStore.uniform(PAPER_REGIONS, INPUT_MB)
     job = tpcds_job(QUERY, store.data_by_dc())
-    deployment = wanify.deployment("wanify-tc", bw=predicted)
+    deployment = pipeline.deployment("wanify-tc", bw=predicted)
     deployment.install(cluster.network)
     if noisy:
         # Swap the US East agent's optimizer for the noisy variant.
@@ -133,14 +133,14 @@ def _run_with_optimizer(
 
 def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
     """Collect per-epoch tracking stats for clean and noisy controllers."""
-    wanify = common.trained_wanify(fast)
+    pipeline = common.trained_pipeline(fast)
     weather = common.fluctuation()
 
     clean_target, clean_monitored, clean_deltas = _run_with_optimizer(
-        wanify, weather, at_time, noisy=False
+        pipeline, weather, at_time, noisy=False
     )
     noisy_target, noisy_monitored, noisy_deltas = _run_with_optimizer(
-        wanify, weather, at_time, noisy=True
+        pipeline, weather, at_time, noisy=True
     )
 
     return {

@@ -70,12 +70,12 @@ def _run_query(query: int, bw, weather, at_time: float, deployment=None):
 
 def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
     """Three treatments per query, Iridium throughout."""
-    wanify = common.trained_wanify(fast)
+    pipeline = common.trained_pipeline(fast)
     weather = common.fluctuation()
     topology = common.worker_topology()
 
     static = measure_independent(topology, weather, at_time=0.0).matrix
-    predicted = wanify.predict_runtime_bw(at_time=at_time)
+    predicted = pipeline.predict(at_time=at_time)
 
     rows = {}
     for query in QUERIES:
@@ -86,7 +86,7 @@ def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
             predicted,
             weather,
             at_time,
-            deployment=wanify.deployment("wanify-tc", predicted),
+            deployment=pipeline.deployment("wanify-tc", predicted),
         )
         rows[query] = {
             "base_jct_min": base.jct_minutes,

@@ -23,7 +23,7 @@ from repro.net.profiles import network_profile
 from repro.runtime.scenarios import FlashCrowd, LinkDegradation, StepDrop
 from repro.runtime.service import (
     ServiceConfig,
-    WANifyService,
+    PipelineService,
     default_job_mix,
 )
 
@@ -51,7 +51,7 @@ def _scenarios(base) -> dict[str, object]:
     }
 
 
-def _serve(weather, online: bool, fast: bool) -> WANifyService:
+def _serve(weather, online: bool, fast: bool) -> PipelineService:
     config = ServiceConfig(
         regions=REGIONS,
         seed=SEED,
@@ -61,7 +61,7 @@ def _serve(weather, online: bool, fast: bool) -> WANifyService:
         n_training_datasets=10 if fast else 40,
         n_estimators=8 if fast else 30,
     )
-    service = WANifyService.build(config, weather=weather)
+    service = PipelineService.build(config, weather=weather)
     for delay, job in default_job_mix(
         REGIONS, count=JOBS, seed=SEED, scale_mb=SCALE_MB
     ):

@@ -20,7 +20,7 @@ exactly as a real deployment would.
 
 from __future__ import annotations
 
-from repro.core.interface import WANify, WANifyConfig
+from repro.pipeline import Pipeline, PipelineConfig
 from repro.experiments import common
 from repro.net.profiles import all_profiles
 from repro.net.topology import Topology
@@ -32,18 +32,18 @@ TRIAD = ("us-east-1", "us-west-1", "ap-southeast-1")
 def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
     """Run the pipeline on every profile; returns per-profile metrics."""
     config = (
-        WANifyConfig(n_training_datasets=30, n_estimators=20)
+        PipelineConfig(n_training_datasets=30, n_estimators=20)
         if fast
-        else WANifyConfig(n_training_datasets=80, n_estimators=60)
+        else PipelineConfig(n_training_datasets=80, n_estimators=60)
     )
     rows = []
     for profile in all_profiles():
         topology = Topology.build(TRIAD, "t2.medium", profile=profile)
         weather = profile.fluctuation(seed=common.WEATHER_SEED)
-        wanify = WANify(topology, weather, config)
-        summary = wanify.train()
-        predicted = wanify.predict_runtime_bw(at_time=at_time)
-        plan = wanify.make_plan(predicted)
+        pipeline = Pipeline(topology, weather, config)
+        summary = pipeline.train()
+        predicted = pipeline.predict(at_time=at_time)
+        plan = pipeline.plan(predicted)
         single_min = predicted.min_bw()
         achievable_min = plan.max_bw.min_bw()
         rows.append(

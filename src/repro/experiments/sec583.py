@@ -47,13 +47,13 @@ def _cluster(weather, at_time):
 
 def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
     """Run the three §5.8.3 configurations."""
-    wanify = common.trained_wanify(fast)
+    pipeline = common.trained_pipeline(fast)
     weather = common.fluctuation()
     hetero_topology = _cluster(weather, at_time).topology
     static = measure_independent(
         hetero_topology, weather, at_time=0.0
     ).matrix
-    predicted = wanify.predict_runtime_bw(
+    predicted = pipeline.predict(
         at_time=at_time, topology=common.worker_topology()
     )
     # Association: scale per-VM predictions for the enlarged US East.
@@ -73,7 +73,7 @@ def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
         job, TetriumPolicy(), decision_bw=predicted_assoc
     )
     full_cluster = _cluster(weather, at_time)
-    deployment = wanify.deployment("wanify-tc", bw=predicted)
+    deployment = pipeline.deployment("wanify-tc", bw=predicted)
     full = GdaEngine(full_cluster).run(
         job,
         TetriumPolicy(),

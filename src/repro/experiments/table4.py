@@ -55,13 +55,13 @@ def _run_query(
 
 def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
     """Run all queries × systems × BW sources."""
-    wanify = common.trained_wanify(fast)
+    pipeline = common.trained_pipeline(fast)
     weather = common.fluctuation()
     topology = common.worker_topology()
 
     static = measure_independent(topology, weather, at_time=0.0)
     simultaneous = stable_runtime(topology, weather, at_time=at_time)
-    predicted = wanify.predict_runtime_bw(at_time=at_time)
+    predicted = pipeline.predict(at_time=at_time)
 
     table = {}
     for system in ("tetrium", "kimchi"):
@@ -89,7 +89,7 @@ def run(fast: bool = True, at_time: float = common.EVAL_TIME) -> dict:
             }
 
     monitoring_cost = simultaneous.cost.dollars
-    prediction_cost = wanify.snapshot_report(at_time).cost.dollars
+    prediction_cost = pipeline.gauge(at_time).cost.dollars
     return {
         "table": table,
         "max_predicted_perf_pct": max(

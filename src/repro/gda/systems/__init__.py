@@ -3,6 +3,13 @@
 All policies consume a pluggable *decision* BW matrix — the WANify
 integration point: feed them static-independent, static-simultaneous,
 or predicted runtime BWs and compare outcomes (Table 4, Fig. 7).
+
+Each policy registers itself by name in
+:data:`repro.pipeline.registry.policy_registry` (via
+``@register_policy``), so ``--policy kimchi`` on the CLI, the service's
+``policy`` config field, and ``scheduler.submit(job, "iridium")`` all
+resolve here — and a policy registered from user code is reachable the
+same way with zero core edits.
 """
 
 from repro.gda.systems.base import PlacementPolicy
@@ -10,6 +17,12 @@ from repro.gda.systems.iridium import IridiumPolicy
 from repro.gda.systems.kimchi import KimchiPolicy
 from repro.gda.systems.tetrium import TetriumPolicy
 from repro.gda.systems.vanilla import LocalityPolicy
+from repro.pipeline.registry import policy_registry
+
+#: Friendly alias — ``LocalityPolicy`` registers as "vanilla-spark"
+#: (its results-table name); "locality" reads better on a CLI.
+if "locality" not in policy_registry.mapping:
+    policy_registry.add("locality", LocalityPolicy)
 
 __all__ = [
     "IridiumPolicy",

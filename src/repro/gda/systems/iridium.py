@@ -27,6 +27,7 @@ from typing import Optional
 from repro.gda.engine.cluster import GeoCluster
 from repro.gda.engine.dag import StageSpec
 from repro.gda.systems.base import PlacementPolicy
+from repro.pipeline.registry import register_policy
 from repro.gda.systems.tetrium import (
     TRANSFER_OVERHEAD,
     _fan_out_migration,
@@ -102,6 +103,7 @@ def bottleneck_transfer_s(
     return worst
 
 
+@register_policy()
 class IridiumPolicy(PlacementPolicy):
     """Network-only LP placement with greedy iterative data placement."""
 

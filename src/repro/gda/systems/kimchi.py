@@ -16,6 +16,7 @@ import numpy as np
 from repro.gda.engine.cluster import GeoCluster
 from repro.gda.engine.dag import StageSpec
 from repro.gda.systems.base import PlacementPolicy
+from repro.pipeline.registry import register_policy
 from repro.gda.systems.tetrium import (
     _fan_out_migration,
     _mean_connectivity,
@@ -34,6 +35,7 @@ DEFAULT_COST_WEIGHT = 300.0
 EVACUATION_RATIO = 0.55
 
 
+@register_policy()
 class KimchiPolicy(PlacementPolicy):
     """Cost-aware LP placement."""
 

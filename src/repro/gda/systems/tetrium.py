@@ -31,6 +31,7 @@ from scipy.optimize import linprog
 from repro.gda.engine.cluster import GeoCluster
 from repro.gda.engine.dag import StageSpec
 from repro.gda.systems.base import PlacementPolicy
+from repro.pipeline.registry import register_policy
 from repro.net.matrix import BandwidthMatrix
 
 #: A DC whose mean connectivity falls below this multiple of the
@@ -219,6 +220,7 @@ def solve_placement_lp(
     return {k: float(f) for k, f in zip(keys, fractions)}
 
 
+@register_policy()
 class TetriumPolicy(PlacementPolicy):
     """Network + compute LP placement with bottleneck-DC evacuation."""
 

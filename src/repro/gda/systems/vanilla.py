@@ -13,9 +13,11 @@ from typing import Optional
 from repro.gda.engine.cluster import GeoCluster
 from repro.gda.engine.dag import StageSpec
 from repro.gda.systems.base import PlacementPolicy
+from repro.pipeline.registry import register_policy
 from repro.net.matrix import BandwidthMatrix
 
 
+@register_policy()
 class LocalityPolicy(PlacementPolicy):
     """WAN-oblivious Spark scheduling."""
 

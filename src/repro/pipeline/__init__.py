@@ -1,0 +1,83 @@
+"""Composable pipeline API — the architectural seam of the repo.
+
+The paper's Fig. 3 architecture is an explicit staged pipeline; this
+package makes each stage a typed, swappable contract and composes them
+behind one object:
+
+* :mod:`repro.pipeline.stages` — ``Protocol`` contracts (``Gauger``,
+  ``Predictor``, ``Planner``, ``DeploymentStrategy``) plus the default
+  implementations (snapshot probe, Random Forest, Eq. 2/3 optimizer);
+* :mod:`repro.pipeline.core` — :class:`Pipeline`, the one-shot facade
+  the runtime service is also rebuilt on;
+* :mod:`repro.pipeline.registry` — string-keyed registries for
+  deployment variants, placement policies, and bandwidth scenarios,
+  with ``@register_*`` decorators that make extensions reachable from
+  every entry point with zero core edits;
+* :mod:`repro.pipeline.config` — the layered configuration system
+  (dataclass defaults → TOML/JSON file → ``WANIFY_*`` env → explicit
+  CLI flags/kwargs) shared by the facade, the service, and the CLI;
+* :mod:`repro.pipeline.deploy` — :class:`Deployment`, what a variant
+  installs on (and scopes its teardown to) the network.
+
+The legacy ``WANify`` / ``WANifyService`` classes are thin deprecated
+shims over this package.
+"""
+
+from repro.pipeline.config import (
+    ConfigArguments,
+    PipelineConfig,
+    ServiceConfig,
+    env_overrides,
+    layered_config,
+    load_config_file,
+)
+from repro.pipeline.core import Pipeline
+from repro.pipeline.deploy import Deployment, WANifyDeployment
+from repro.pipeline.registry import (
+    Registry,
+    placement_policy,
+    policy_registry,
+    register_policy,
+    register_scenario,
+    register_variant,
+    scenario_registry,
+    variant_registry,
+)
+from repro.pipeline.stages import (
+    DeploymentStrategy,
+    ForestPredictor,
+    Gauger,
+    Planner,
+    Predictor,
+    SnapshotGauger,
+    WindowPlanner,
+)
+from repro.pipeline.variants import VariantStrategy
+
+__all__ = [
+    "ConfigArguments",
+    "Deployment",
+    "DeploymentStrategy",
+    "ForestPredictor",
+    "Gauger",
+    "Pipeline",
+    "PipelineConfig",
+    "Planner",
+    "Predictor",
+    "Registry",
+    "ServiceConfig",
+    "SnapshotGauger",
+    "VariantStrategy",
+    "WANifyDeployment",
+    "WindowPlanner",
+    "env_overrides",
+    "layered_config",
+    "load_config_file",
+    "placement_policy",
+    "policy_registry",
+    "register_policy",
+    "register_scenario",
+    "register_variant",
+    "scenario_registry",
+    "variant_registry",
+]

@@ -1,0 +1,154 @@
+"""String-keyed extension registries for the pipeline seams.
+
+Fig. 3's architecture is a staged pipeline, and every stage boundary is
+an extension point: deployment *variants* (how a plan lands on the
+network), placement *policies* (how a GDA system splits work across
+DCs), and bandwidth *scenarios* (how the substrate drifts under the
+service).  Each seam gets one :class:`Registry`, and registration makes
+a new implementation reachable from every entry point — the
+:class:`~repro.pipeline.core.Pipeline` facade, the runtime service, and
+the CLI — with zero core edits::
+
+    from repro.pipeline import register_variant
+
+    @register_variant("my-variant")
+    class MyVariant:
+        def build(self, pipeline, bw, **kwargs):
+            ...
+
+    pipeline.deployment("my-variant")       # works immediately
+
+Built-in entries live next to the things they construct (variants in
+:mod:`repro.pipeline.variants`, policies in :mod:`repro.gda.systems`,
+scenarios in :mod:`repro.runtime.scenarios`); each registry lazily
+imports its home module on first lookup so the built-ins are always
+present without import-order gymnastics.
+"""
+
+from __future__ import annotations
+
+import importlib
+from types import MappingProxyType
+from typing import Callable, Iterator, Mapping, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry:
+    """A named string → object mapping with decorator registration.
+
+    ``bootstrap`` is a module path imported on first lookup; importing
+    it runs the built-in ``@register_*`` decorators.  Registration is
+    last-wins so tests can shadow a built-in and restore it afterwards
+    (see :meth:`unregister`).
+    """
+
+    def __init__(self, kind: str, bootstrap: Optional[str] = None) -> None:
+        self.kind = kind
+        self._bootstrap = bootstrap
+        self._entries: dict[str, object] = {}
+
+    def _ensure_bootstrapped(self) -> None:
+        if self._bootstrap is not None:
+            module, self._bootstrap = self._bootstrap, None
+            importlib.import_module(module)
+
+    def register(self, name: object = None) -> Callable[[T], T]:
+        """Decorator: ``@registry.register("name")``.
+
+        Without an explicit name, the object's ``name`` attribute is
+        used (every built-in variant/policy/scenario carries one).
+        Bare decoration (``@registry.register`` with no call) works
+        too — the decorated object must then carry a ``name``.
+        """
+        # Load the built-ins first so a user registration shadowing one
+        # is not clobbered when a later lookup bootstraps.  Re-entrant
+        # registrations from the bootstrap module itself no-op here:
+        # _bootstrap is cleared before its import starts.
+        self._ensure_bootstrapped()
+
+        def decorate(obj: T, key: Optional[str] = None) -> T:
+            key = key if key is not None else getattr(obj, "name", None)
+            if not key or not isinstance(key, str):
+                msg = f"{self.kind} registration needs a string name; got {key!r} for {obj!r}"
+                raise ValueError(msg)
+            self._entries[key] = obj
+            return obj
+
+        if name is None or isinstance(name, str):
+            return lambda obj: decorate(obj, name)
+        # Bare decoration: ``@register_variant`` without parentheses
+        # hands the class itself in as ``name``.
+        return decorate(name)
+
+    def add(self, name: str, obj: object) -> None:
+        """Imperative registration (``register`` without the decorator)."""
+        self.register(name)(obj)
+
+    def unregister(self, name: str) -> None:
+        """Drop an entry (no-op when absent) — test cleanup."""
+        self._ensure_bootstrapped()
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> object:
+        """Look up an entry; ``KeyError`` names the known alternatives."""
+        self._ensure_bootstrapped()
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self.names())
+            raise KeyError(f"unknown {self.kind} {name!r}; known: {known}") from None
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names, sorted."""
+        self._ensure_bootstrapped()
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_bootstrapped()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_bootstrapped()
+        return len(self._entries)
+
+    @property
+    def mapping(self) -> Mapping[str, object]:
+        """A live read-only view of the entries (legacy dict surface)."""
+        self._ensure_bootstrapped()
+        return MappingProxyType(self._entries)
+
+
+#: Deployment variants — entries are :class:`DeploymentStrategy`
+#: factories (classes or zero-arg callables) built in
+#: :mod:`repro.pipeline.variants`.
+variant_registry = Registry("variant", bootstrap="repro.pipeline.variants")
+
+#: GDA placement policies — entries are
+#: :class:`~repro.gda.systems.base.PlacementPolicy` subclasses.
+policy_registry = Registry("placement policy", bootstrap="repro.gda.systems")
+
+#: Bandwidth scenarios — entries are ``(base, seed) → ScenarioModel``
+#: factories (or ScenarioModel subclasses, wrapped on registration by
+#: :func:`repro.runtime.scenarios.register_scenario_model`).
+scenario_registry = Registry("scenario", bootstrap="repro.runtime.scenarios")
+
+register_variant = variant_registry.register
+register_policy = policy_registry.register
+register_scenario = scenario_registry.register
+
+
+def placement_policy(policy: object) -> object:
+    """Resolve a policy spec — an instance, class, or registered name.
+
+    The scheduler and service accept all three spellings; strings go
+    through the registry, classes are instantiated.
+    """
+    if isinstance(policy, str):
+        policy = policy_registry.get(policy)
+    if isinstance(policy, type):
+        policy = policy()
+    return policy

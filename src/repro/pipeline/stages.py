@@ -1,0 +1,195 @@
+"""Typed stage contracts for the gauge → predict → plan → deploy pipeline.
+
+Each stage of Fig. 3's architecture is a :class:`~typing.Protocol`, so
+any object with the right shape plugs in — no inheritance required:
+
+* :class:`Gauger` — measure the live network (a snapshot probe by
+  default; swap in a passive-telemetry gauger, a cached gauger, …);
+* :class:`Predictor` — turn a measurement into stable runtime BWs
+  (the paper's Random Forest by default);
+* :class:`Planner` — turn predicted BWs into a
+  :class:`~repro.core.globalopt.GlobalPlan` (Eq. 2/3 by default);
+* :class:`DeploymentStrategy` — turn a plan into a
+  :class:`~repro.pipeline.deploy.Deployment` (the six evaluation
+  variants live in :mod:`repro.pipeline.variants`).
+
+The default implementations live here too, as plain classes satisfying
+the protocols — they are what :class:`~repro.pipeline.core.Pipeline`
+builds when no stage override is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+
+from repro.core.analyzer import BandwidthAnalyzer
+from repro.core.globalopt import GlobalPlan, optimize_connections
+from repro.core.predictor import WanPredictionModel
+from repro.net.dynamics import FluctuationModel
+from repro.net.matrix import BandwidthMatrix
+from repro.net.measurement import MeasurementReport, snapshot
+from repro.net.topology import Topology
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.deploy import Deployment
+
+if TYPE_CHECKING:
+    from repro.pipeline.core import Pipeline
+
+
+@runtime_checkable
+class Gauger(Protocol):
+    """Measures the current network state (the online module's probe)."""
+
+    def gauge(
+        self,
+        topology: Topology,
+        weather: object,
+        at_time: float,
+    ) -> MeasurementReport:
+        """A bandwidth measurement of ``topology`` at ``at_time``."""
+        ...
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """Maps a measurement to stable runtime bandwidths."""
+
+    @property
+    def is_trained(self) -> bool: ...
+
+    def train(
+        self,
+        topology: Topology,
+        weather: object,
+        config: PipelineConfig,
+    ) -> dict[str, float]:
+        """Run the offline campaign; returns a training summary."""
+        ...
+
+    def predict(self, report: MeasurementReport, topology: Topology) -> BandwidthMatrix:
+        """Predicted stable runtime BWs for ``topology``."""
+        ...
+
+
+@runtime_checkable
+class Planner(Protocol):
+    """Maps predicted bandwidths to a connection plan."""
+
+    def plan(
+        self,
+        bw: BandwidthMatrix,
+        config: PipelineConfig,
+        skew_weights: Optional[dict[str, float]] = None,
+        rvec: Optional[dict[str, float]] = None,
+    ) -> GlobalPlan: ...
+
+
+@runtime_checkable
+class DeploymentStrategy(Protocol):
+    """Builds a deployment from the pipeline's current state.
+
+    ``epoch_s`` and ``telemetry`` are agent knobs forwarded by the
+    runtime service; a strategy that deploys agents must honor them
+    (the built-ins inherit handling from ``VariantStrategy``).
+    """
+
+    def build(
+        self,
+        pipeline: "Pipeline",
+        bw: Optional[BandwidthMatrix],
+        at_time: float = 0.0,
+        skew_weights: Optional[dict[str, float]] = None,
+        rvec: Optional[dict[str, float]] = None,
+        epoch_s: Optional[float] = None,
+        telemetry: Optional[object] = None,
+    ) -> Deployment: ...
+
+
+# ----------------------------------------------------------------------
+# Default implementations
+# ----------------------------------------------------------------------
+
+
+class SnapshotGauger:
+    """The paper's 1-second active probe (§3.2, runtime monitoring)."""
+
+    def gauge(
+        self,
+        topology: Topology,
+        weather: object,
+        at_time: float,
+    ) -> MeasurementReport:
+        return snapshot(topology, weather, at_time)
+
+
+class ForestPredictor:
+    """Bandwidth Analyzer + Random-Forest WAN Prediction Model (§3.1)."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        weather: object,
+        config: PipelineConfig,
+    ) -> None:
+        self.model = WanPredictionModel(n_estimators=config.n_estimators, random_state=config.seed)
+        # The analyzer's training campaign needs a real fluctuation
+        # model; a StaticModel weather falls back to a seeded one.
+        if not isinstance(weather, FluctuationModel):
+            weather = FluctuationModel(seed=config.seed)
+        self.analyzer = BandwidthAnalyzer(
+            topology,
+            weather,
+            n_datasets=config.n_training_datasets,
+            seed=config.seed,
+        )
+        self._trained = False
+
+    @property
+    def is_trained(self) -> bool:
+        return self._trained
+
+    def train(
+        self,
+        topology: Topology,
+        weather: object,
+        config: PipelineConfig,
+    ) -> dict[str, float]:
+        training = self.analyzer.collect()
+        self.model.fit(training)
+        self._trained = True
+        return {
+            "rows": float(len(training)),
+            "target_std_mbps": training.target_std(),
+            "train_accuracy_pct": self.model.train_accuracy,
+            "collection_cost_usd": self.analyzer.last_cost.dollars,
+        }
+
+    def predict(self, report: MeasurementReport, topology: Topology) -> BandwidthMatrix:
+        return self.model.predict_matrix(report, topology)
+
+    def __getattr__(self, name: str):
+        # Delegate to the wrapped model so legacy callers that held the
+        # raw WanPredictionModel (``predict_rows``, ``train_accuracy``,
+        # ``refit`` …) keep working against the stage.
+        if name == "model":
+            raise AttributeError(name)
+        return getattr(self.model, name)
+
+
+class WindowPlanner:
+    """The Eq. 2/3 global optimizer producing min–max windows."""
+
+    def plan(
+        self,
+        bw: BandwidthMatrix,
+        config: PipelineConfig,
+        skew_weights: Optional[dict[str, float]] = None,
+        rvec: Optional[dict[str, float]] = None,
+    ) -> GlobalPlan:
+        return optimize_connections(
+            bw,
+            max_connections=config.max_connections,
+            min_difference=config.min_difference_mbps,
+            skew_weights=skew_weights,
+            rvec=rvec,
+        )

@@ -42,19 +42,28 @@ from repro.runtime.drift import DriftDetector, ReplanEvent
 from repro.runtime.executor import JobRun
 from repro.runtime.scenarios import (
     SCENARIOS,
+    ComposedScenario,
     DiurnalSwing,
     FlashCrowd,
     LinkDegradation,
     ScenarioModel,
     StepDrop,
+    register_scenario_model,
     scenario,
     scenario_names,
 )
 from repro.runtime.scheduler import JobScheduler, JobTicket
-from repro.runtime.service import ServiceConfig, ServiceSummary, WANifyService
+from repro.runtime.service import (
+    PipelineService,
+    ServiceConfig,
+    ServiceSummary,
+    WANifyService,
+    default_job_mix,
+)
 from repro.runtime.telemetry import LinkEstimate, LinkSeries, TelemetryStore
 
 __all__ = [
+    "ComposedScenario",
     "DiurnalSwing",
     "DriftDetector",
     "FlashCrowd",
@@ -64,6 +73,7 @@ __all__ = [
     "LinkDegradation",
     "LinkEstimate",
     "LinkSeries",
+    "PipelineService",
     "ReplanEvent",
     "SCENARIOS",
     "ScenarioModel",
@@ -72,6 +82,8 @@ __all__ = [
     "StepDrop",
     "TelemetryStore",
     "WANifyService",
+    "default_job_mix",
+    "register_scenario_model",
     "scenario",
     "scenario_names",
 ]

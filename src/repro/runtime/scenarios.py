@@ -14,7 +14,11 @@ models (``factor`` and ``snapshot_jitter``), so they plug straight into
 probes.  Everything is a pure function of ``(seed, i, j, t)`` — replays
 and independent simulator instances agree on the shape.
 
-Named scenarios (see :data:`SCENARIOS`):
+Scenarios register by name in the shared
+:data:`~repro.pipeline.registry.scenario_registry`
+(``@register_scenario`` / :func:`register_scenario_model`), and
+``+``-joined names compose: ``scenario("diurnal+flash-crowd")`` stacks
+a flash crowd on the diurnal swing.  Built-in names:
 
 ==================  ==================================================
 name                shape
@@ -40,6 +44,7 @@ from repro.net.dynamics import (
     StaticModel,
     _link_hash,
 )
+from repro.pipeline.registry import register_scenario, scenario_registry
 
 #: Hard floor for the combined capacity factor — links never reach
 #: exactly zero (the fluid solver needs positive caps).
@@ -196,33 +201,95 @@ class StepDrop(ScenarioModel):
         return self.level if t >= self.at_s else 1.0
 
 
+@dataclass(frozen=True)
+class ComposedScenario(ScenarioModel):
+    """Several scenario shapes stacked multiplicatively on one base.
+
+    Built by :func:`scenario` for ``+``-joined names — e.g.
+    ``"diurnal+flash-crowd"`` runs a flash crowd *on top of* the deep
+    daily swing (a ROADMAP composition item).  Each part contributes
+    its :meth:`~ScenarioModel.shape` only; the shared base weather is
+    applied once by :meth:`~ScenarioModel.factor`.
+    """
+
+    name: str = "composed"
+    parts: tuple[ScenarioModel, ...] = ()
+
+    def shape(self, i: int, j: int, t: float) -> float:
+        combined = 1.0
+        for part in self.parts:
+            combined *= part.shape(i, j, t)
+        return combined
+
+
 def _base(base: FluctuationModel | StaticModel | None, seed: int):
     return base if base is not None else FluctuationModel(seed=seed)
 
 
-#: name → factory(base, seed) for every named scenario.
-SCENARIOS: dict[str, object] = {
-    "calm": lambda base, seed: ScenarioModel(_base(base, seed), seed),
-    "diurnal": lambda base, seed: DiurnalSwing(_base(base, seed), seed),
-    "flash-crowd": lambda base, seed: FlashCrowd(_base(base, seed), seed),
-    "link-degradation": lambda base, seed: LinkDegradation(
-        _base(base, seed), seed
-    ),
-    "link-failure": lambda base, seed: LinkDegradation(
-        _base(base, seed),
-        seed,
-        start_s=600.0,
-        ramp_s=60.0,
-        residual=0.05,
-        hit_fraction=0.15,
-    ),
-    "step-drop": lambda base, seed: StepDrop(_base(base, seed), seed),
-}
+def register_scenario_model(
+    cls: type[ScenarioModel],
+    name: str | None = None,
+    **defaults: object,
+) -> type[ScenarioModel]:
+    """Register a :class:`ScenarioModel` subclass under its name.
+
+    The registry stores ``(base, seed) → model`` factories;
+    ``defaults`` become fixed constructor keywords — how one shape
+    class backs several named scenarios (``link-degradation`` and
+    ``link-failure`` below)::
+
+        @dataclass(frozen=True)
+        class MeteorStrike(ScenarioModel):
+            name: str = "meteor-strike"
+            ...
+
+        register_scenario_model(MeteorStrike)
+    """
+    key = name if name is not None else cls.name
+    register_scenario(key)(
+        lambda base, seed: cls(_base(base, seed), seed, **defaults)
+    )
+    return cls
+
+
+register_scenario_model(ScenarioModel, name="calm")
+register_scenario_model(DiurnalSwing)
+register_scenario_model(FlashCrowd)
+register_scenario_model(LinkDegradation)
+register_scenario_model(
+    LinkDegradation,
+    name="link-failure",
+    start_s=600.0,
+    ramp_s=60.0,
+    residual=0.05,
+    hit_fraction=0.15,
+)
+register_scenario_model(StepDrop)
+
+#: Legacy name → factory(base, seed) mapping — now a live read-only
+#: view of the scenario registry, so ``@register_scenario`` entries
+#: appear here too.
+SCENARIOS = scenario_registry.mapping
 
 
 def scenario_names() -> tuple[str, ...]:
-    """All registered scenario names, sorted."""
-    return tuple(sorted(SCENARIOS))
+    """All registered scenario names, sorted (atomic names only)."""
+    return scenario_registry.names()
+
+
+def _split_composed(name: str) -> list[str]:
+    """The atomic parts of a (possibly ``+``-composed) scenario name."""
+    return [part.strip() for part in name.split("+") if part.strip()]
+
+
+def scenario_known(name: str) -> bool:
+    """Whether :func:`scenario` would resolve ``name``.
+
+    The single source of truth for composition syntax — entry-point
+    validators (the CLI) call this instead of re-parsing ``+`` chains.
+    """
+    parts = _split_composed(name)
+    return bool(parts) and all(part in scenario_registry for part in parts)
 
 
 def scenario(
@@ -232,14 +299,21 @@ def scenario(
 ) -> ScenarioModel:
     """Build a named scenario over ``base`` weather (seeded default).
 
+    ``+`` composes registered scenarios into one model —
+    ``scenario("diurnal+flash-crowd")`` stacks a flash crowd on the
+    diurnal swing.
+
     >>> scenario("step-drop", seed=3).factor(0, 1, 0.0) > 0
     True
     """
-    try:
-        factory = SCENARIOS[name]
-    except KeyError:
-        known = ", ".join(scenario_names())
-        raise KeyError(
-            f"unknown scenario {name!r}; known: {known}"
-        ) from None
+    if "+" in name:
+        shared = _base(base, seed)
+        parts = tuple(
+            scenario(part, seed=seed, base=shared)
+            for part in _split_composed(name)
+        )
+        if not parts:
+            raise KeyError(f"empty composed scenario {name!r}")
+        return ComposedScenario(shared, seed, name=name, parts=parts)
+    factory = scenario_registry.get(name)
     return factory(base, seed)

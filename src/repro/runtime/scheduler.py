@@ -25,7 +25,12 @@ from repro.gda.engine.cluster import GeoCluster
 from repro.gda.engine.dag import JobSpec
 from repro.gda.engine.engine import SHUFFLE_OVERHEAD, JobResult
 from repro.gda.systems.base import PlacementPolicy
+from repro.pipeline.registry import placement_policy
 from repro.runtime.executor import DecisionBw, JobRun
+
+#: A policy spec: an instance, a registered name, a class, or ``None``
+#: for the scheduler's default.
+PolicySpec = PlacementPolicy | str | type | None
 
 
 @dataclass
@@ -87,6 +92,7 @@ class JobScheduler:
         max_concurrent: int = 3,
         decision_bw: DecisionBw = None,
         shuffle_overhead: float = SHUFFLE_OVERHEAD,
+        default_policy: PolicySpec = "tetrium",
     ) -> None:
         if max_concurrent < 1:
             raise ValueError(
@@ -96,6 +102,7 @@ class JobScheduler:
         self.max_concurrent = max_concurrent
         self.decision_bw = decision_bw
         self.shuffle_overhead = shuffle_overhead
+        self.default_policy = default_policy
         self.queued: deque[JobTicket] = deque()
         self.running: list[JobTicket] = []
         self.completed: list[JobTicket] = []
@@ -112,10 +119,18 @@ class JobScheduler:
     # -- submission -----------------------------------------------------
 
     def submit(
-        self, job: JobSpec, policy: PlacementPolicy
+        self, job: JobSpec, policy: PolicySpec = None
     ) -> JobTicket:
-        """Queue a job now; it starts as soon as a slot frees up."""
-        ticket = JobTicket(job, policy, submitted_s=self.sim.now)
+        """Queue a job now; it starts as soon as a slot frees up.
+
+        ``policy`` may be a :class:`PlacementPolicy` instance, a
+        registered name (``"kimchi"``), a policy class, or ``None``
+        for the scheduler's ``default_policy``.
+        """
+        resolved = placement_policy(
+            policy if policy is not None else self.default_policy
+        )
+        ticket = JobTicket(job, resolved, submitted_s=self.sim.now)
         if self._first_submit is None:
             self._first_submit = self.sim.now
         self.queued.append(ticket)
@@ -123,7 +138,7 @@ class JobScheduler:
         return ticket
 
     def submit_at(
-        self, delay_s: float, job: JobSpec, policy: PlacementPolicy
+        self, delay_s: float, job: JobSpec, policy: PolicySpec = None
     ) -> None:
         """Schedule a submission ``delay_s`` seconds from now."""
         self.sim.schedule(delay_s, lambda: self.submit(job, policy))

@@ -1,20 +1,22 @@
 """The WANify runtime service: gauge → plan → watch → re-plan, forever.
 
-:class:`WANifyService` owns one :class:`~repro.gda.engine.cluster.GeoCluster`
-and keeps the WANify control loop running while the
-:class:`~repro.runtime.scheduler.JobScheduler` admits and executes jobs:
+:class:`PipelineService` owns one
+:class:`~repro.gda.engine.cluster.GeoCluster` and a composed
+:class:`~repro.pipeline.core.Pipeline`, and keeps the control loop
+running while the :class:`~repro.runtime.scheduler.JobScheduler`
+admits and executes jobs:
 
-1. **gauge** — snapshot the live network and predict stable runtime BWs
-   with the trained model (the paper's online module);
-2. **plan** — run the global optimizer and deploy AIMD agents (with
-   throttling for the default ``wanify-tc`` variant); agents publish
-   their monitor samples to the shared
-   :class:`~repro.runtime.telemetry.TelemetryStore`;
+1. **gauge** — snapshot the live network (through the pipeline's
+   :class:`~repro.pipeline.stages.Gauger` stage) and predict stable
+   runtime BWs with the trained model (the paper's online module);
+2. **plan** — build the configured deployment *variant* through the
+   variant registry (``wanify-tc`` by default: global optimizer + AIMD
+   agents + throttling); agents publish their monitor samples to the
+   shared :class:`~repro.runtime.telemetry.TelemetryStore`;
 3. **watch** — a periodic :class:`~repro.runtime.drift.DriftDetector`
    check compares telemetry capacity estimates with the prediction;
-4. **re-plan** — on a fired event the service re-gauges, recomputes the
-   :class:`~repro.core.globalopt.GlobalPlan`, redeploys agents and
-   throttles, and swaps the scheduler's decision matrix so *later
+4. **re-plan** — on a fired event the service re-gauges, rebuilds the
+   deployment, and swaps the scheduler's decision matrix so *later
    stages of running jobs* place work against the fresh view.
 
 ``online=False`` freezes the loop after the initial plan — the static
@@ -23,71 +25,44 @@ baseline the online-vs-static experiment compares against.
 Training uses the *base* weather (normal conditions); the cluster runs
 the *scenario* weather.  The divergence between the two is precisely
 what the drift detector exists to catch.
+
+Every service knob — including the pipeline's ``variant`` and the
+scheduler's default placement ``policy`` — lives in
+:class:`~repro.pipeline.config.ServiceConfig`, resolvable through the
+layered config system from code, files, env vars, or the CLI.
+
+:class:`WANifyService` remains as a deprecated alias.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.cloud.regions import PAPER_REGIONS
-from repro.core.agent import LocalAgent, deploy_agents
-from repro.core.globalopt import GlobalPlan
-from repro.core.interface import WANify, WANifyConfig
-from repro.core.localopt import EPOCH_S
 from repro.gda.engine.cluster import GeoCluster
 from repro.gda.engine.dag import JobSpec
-from repro.gda.systems.base import PlacementPolicy
-from repro.gda.systems.tetrium import TetriumPolicy
-from repro.gda.workloads.terasort import terasort_job
-from repro.gda.workloads.tpcds import tpcds_job
-from repro.gda.workloads.wordcount import wordcount_job
 from repro.net.matrix import BandwidthMatrix
-from repro.net.measurement import snapshot
 from repro.net.profiles import network_profile
-from repro.runtime.drift import (
-    DEFAULT_COOLDOWN_S,
-    DEFAULT_THRESHOLD,
-    DriftDetector,
-    ReplanEvent,
-)
+from repro.pipeline.config import ServiceConfig
+from repro.pipeline.core import Pipeline
+from repro.pipeline.deploy import Deployment
+from repro.runtime.drift import DriftDetector, ReplanEvent
 from repro.runtime.scenarios import scenario
-from repro.runtime.scheduler import JobScheduler, JobTicket
+from repro.runtime.scheduler import JobScheduler, JobTicket, PolicySpec
 from repro.runtime.telemetry import TelemetryStore
 from repro.sim.kernel import Process
+from repro.core.agent import LocalAgent
 
 import numpy as np
 
-
-@dataclass(frozen=True)
-class ServiceConfig:
-    """Everything needed to build and run a service instance."""
-
-    regions: tuple[str, ...] = PAPER_REGIONS
-    vm: str = "t2.medium"
-    profile: str = "vpc-peering"
-    seed: int = 42
-    #: Named scenario from :mod:`repro.runtime.scenarios`; ``None``
-    #: runs plain seeded weather.
-    scenario: Optional[str] = None
-    #: ``False`` freezes the control loop after the initial plan.
-    online: bool = True
-    throttling: bool = True
-    max_concurrent: int = 3
-    epoch_s: float = EPOCH_S
-    check_interval_s: float = 30.0
-    drift_threshold: float = DEFAULT_THRESHOLD
-    cooldown_s: float = DEFAULT_COOLDOWN_S
-    max_replans: Optional[int] = None
-    #: Sliding window for the shared store.  Shorter than the 300 s
-    #: weather grid on purpose: the drift detector's median over this
-    #: window is the re-plan trigger, and detection latency is about
-    #: half the window for a persistent drop.
-    telemetry_window_s: float = 120.0
-    #: Training-campaign size (small defaults keep service start cheap;
-    #: raise toward the paper's 120/100 for fidelity studies).
-    n_training_datasets: int = 24
-    n_estimators: int = 16
+__all__ = [
+    "PipelineService",
+    "ServiceConfig",
+    "ServiceSummary",
+    "WANifyService",
+    "default_job_mix",
+]
 
 
 @dataclass
@@ -119,28 +94,36 @@ class ServiceSummary:
         }
 
 
-class WANifyService:
-    """Long-running multi-job WANify over one shared cluster."""
+class PipelineService:
+    """Long-running multi-job WANify over one shared cluster.
+
+    Built on a :class:`~repro.pipeline.core.Pipeline`: the service's
+    gauge/predict/plan steps are the pipeline's stages, and the
+    deployment each (re-)plan installs comes from the configured
+    variant's registered strategy.
+    """
 
     def __init__(
         self,
         cluster: GeoCluster,
-        wanify: WANify,
-        config: ServiceConfig = ServiceConfig(),
+        pipeline: Pipeline,
+        config: Optional[ServiceConfig] = None,
     ) -> None:
         self.cluster = cluster
-        self.wanify = wanify
-        self.config = config
-        self.telemetry = TelemetryStore(window_s=config.telemetry_window_s)
+        self.pipeline = pipeline
+        self.config = config if config is not None else ServiceConfig()
+        self.telemetry = TelemetryStore(
+            window_s=self.config.telemetry_window_s
+        )
         self.scheduler = JobScheduler(
             cluster,
-            max_concurrent=config.max_concurrent,
+            max_concurrent=self.config.max_concurrent,
             decision_bw=lambda: self.predicted,
+            default_policy=self.config.policy,
         )
         self.predicted: Optional[BandwidthMatrix] = None
-        self.plan: Optional[GlobalPlan] = None
+        self.deployment: Optional[Deployment] = None
         self.detector: Optional[DriftDetector] = None
-        self.agents: list[LocalAgent] = []
         self.replans: list[ReplanEvent] = []
         self._drift_process: Optional[Process] = None
         self._started = False
@@ -150,9 +133,9 @@ class WANifyService:
     @classmethod
     def build(
         cls,
-        config: ServiceConfig = ServiceConfig(),
+        config: Optional[ServiceConfig] = None,
         weather: Optional[object] = None,
-    ) -> "WANifyService":
+    ) -> "PipelineService":
         """Build, train, and start a service from a config.
 
         The prediction model trains on the profile's *base* weather;
@@ -161,6 +144,7 @@ class WANifyService:
         override the named scenario — e.g. a
         :class:`~repro.runtime.scenarios.StepDrop` with custom timing.
         """
+        config = config if config is not None else ServiceConfig()
         profile = network_profile(config.profile)
         base = profile.fluctuation(seed=config.seed)
         if weather is None:
@@ -175,19 +159,30 @@ class WANifyService:
             fluctuation=weather,
             profile=profile,
         )
-        wanify = WANify(
-            cluster.topology,
-            base,
-            WANifyConfig(
-                n_training_datasets=config.n_training_datasets,
-                n_estimators=config.n_estimators,
-                seed=config.seed,
-            ),
-        )
-        wanify.train()
-        service = cls(cluster, wanify, config)
+        pipeline = Pipeline(cluster.topology, base, config)
+        pipeline.train()
+        service = cls(cluster, pipeline, config)
         service.start()
         return service
+
+    # -- legacy surface -------------------------------------------------
+
+    @property
+    def wanify(self) -> Pipeline:
+        """Legacy name for the service's pipeline."""
+        return self.pipeline
+
+    @property
+    def plan(self):
+        """The currently installed :class:`GlobalPlan` (if any)."""
+        return self.deployment.plan if self.deployment is not None else None
+
+    @property
+    def agents(self) -> list[LocalAgent]:
+        """The currently running AIMD agents (empty when torn down)."""
+        if self.deployment is None:
+            return []
+        return self.deployment.agents_running
 
     # -- control loop ---------------------------------------------------
 
@@ -224,30 +219,39 @@ class WANifyService:
             )
 
     def _gauge(self) -> BandwidthMatrix:
-        """Snapshot the *live* network weather and predict runtime BWs."""
-        report = snapshot(
+        """Snapshot the *live* network weather and predict runtime BWs.
+
+        Goes through the pipeline's gauger stage, but against the
+        cluster's live (scenario) weather rather than the training
+        weather the pipeline was built with.
+        """
+        report = self.pipeline.gauger.gauge(
             self.cluster.topology,
             self.network.fluctuation,
-            at_time=self.sim.now + self.network.time_offset,
+            self.sim.now + self.network.time_offset,
         )
-        return self.wanify.predict_runtime_bw(report=report)
+        return self.pipeline.predict(report=report)
 
     def _install(self, predicted: BandwidthMatrix) -> None:
-        """Compute and deploy a fresh plan (agents publish telemetry)."""
-        self.plan = self.wanify.make_plan(predicted)
-        self.agents = deploy_agents(
-            self.network,
-            self.plan,
-            throttling=self.config.throttling,
+        """Build and install the configured variant's deployment.
+
+        The agent knobs travel through the strategy's ``build`` so
+        custom registered variants see them at build time.
+        """
+        deployment = self.pipeline.deployment(
+            self.config.variant,
+            bw=predicted,
             epoch_s=self.config.epoch_s,
             telemetry=self.telemetry,
         )
+        if not self.config.throttling:
+            deployment.throttling = False
+        deployment.install(self.network)
+        self.deployment = deployment
 
-    def _teardown_agents(self) -> None:
-        for agent in self.agents:
-            agent.stop()
-        self.agents = []
-        self.network.tc.clear_all()
+    def _teardown(self) -> None:
+        if self.deployment is not None:
+            self.deployment.teardown(self.network)
 
     def _check(self, now: float) -> None:
         if self.detector is None:
@@ -268,7 +272,7 @@ class WANifyService:
         placement decisions read the refreshed matrix through the
         scheduler's ``decision_bw`` callable.
         """
-        self._teardown_agents()
+        self._teardown()
         self.predicted = self._gauge()
         self._install(self.predicted)
         if self.detector is not None:
@@ -277,7 +281,7 @@ class WANifyService:
 
     def stop(self) -> None:
         """Stop agents and the watcher (queued jobs stay queued)."""
-        self._teardown_agents()
+        self._teardown()
         if self._drift_process is not None:
             self._drift_process.stop()
             self._drift_process = None
@@ -285,19 +289,24 @@ class WANifyService:
     # -- job interface --------------------------------------------------
 
     def submit(
-        self, job: JobSpec, policy: Optional[PlacementPolicy] = None
+        self, job: JobSpec, policy: PolicySpec = None
     ) -> JobTicket:
-        """Queue a job under ``policy`` (Tetrium by default)."""
-        return self.scheduler.submit(job, policy or TetriumPolicy())
+        """Queue a job under ``policy`` (the config's default when unset).
+
+        ``policy`` may be an instance, a registered name, or a class —
+        anything :func:`repro.pipeline.registry.placement_policy`
+        resolves.
+        """
+        return self.scheduler.submit(job, policy)
 
     def submit_at(
         self,
         delay_s: float,
         job: JobSpec,
-        policy: Optional[PlacementPolicy] = None,
+        policy: PolicySpec = None,
     ) -> None:
         """Queue a job ``delay_s`` simulated seconds from now."""
-        self.scheduler.submit_at(delay_s, job, policy or TetriumPolicy())
+        self.scheduler.submit_at(delay_s, job, policy)
 
     def run(self, until: Optional[float] = None) -> None:
         """Drive the shared simulator (open-ended: until jobs drain)."""
@@ -322,6 +331,24 @@ class WANifyService:
         )
 
 
+class WANifyService(PipelineService):
+    """Deprecated spelling of :class:`PipelineService`."""
+
+    def __init__(
+        self,
+        cluster: GeoCluster,
+        pipeline: Pipeline,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        warnings.warn(
+            "WANifyService is deprecated; use "
+            "repro.runtime.service.PipelineService",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(cluster, pipeline, config)
+
+
 def default_job_mix(
     keys: tuple[str, ...],
     count: int = 6,
@@ -334,6 +361,10 @@ def default_job_mix(
     are spaced half a mean-JCT apart, so the queue stays busy without
     saturating.  Deterministic in ``(keys, count, seed, scale_mb)``.
     """
+    from repro.gda.workloads.terasort import terasort_job
+    from repro.gda.workloads.tpcds import tpcds_job
+    from repro.gda.workloads.wordcount import wordcount_job
+
     if count < 1:
         raise ValueError(f"count must be ≥ 1: {count}")
     rng = np.random.default_rng(seed)

@@ -1,0 +1,185 @@
+"""Tests for the string-keyed extension registries."""
+
+import pytest
+
+from repro.gda.systems.base import PlacementPolicy
+from repro.pipeline.registry import (
+    Registry,
+    placement_policy,
+    policy_registry,
+    register_policy,
+    register_scenario,
+    scenario_registry,
+    variant_registry,
+)
+
+
+class TestRegistryMechanics:
+    def test_register_and_get(self):
+        reg = Registry("thing")
+        reg.add("a", 1)
+        assert reg.get("a") == 1
+        assert "a" in reg
+        assert reg.names() == ("a",)
+        assert len(reg) == 1
+
+    def test_decorator_uses_name_attribute(self):
+        reg = Registry("thing")
+
+        @reg.register()
+        class Widget:
+            name = "widget"
+
+        assert reg.get("widget") is Widget
+
+    def test_bare_decoration_works(self):
+        # ``@reg.register`` without parentheses must register the
+        # class, not silently replace it with the inner closure.
+        reg = Registry("thing")
+
+        @reg.register
+        class Widget:
+            name = "widget"
+
+        assert isinstance(Widget, type)
+        assert reg.get("widget") is Widget
+
+    def test_bare_decoration_without_name_rejected(self):
+        reg = Registry("thing")
+        with pytest.raises(ValueError, match="string name"):
+
+            @reg.register
+            class Nameless:
+                pass
+
+    def test_decorator_explicit_name_wins(self):
+        reg = Registry("thing")
+
+        @reg.register("alias")
+        class Widget:
+            name = "widget"
+
+        assert "alias" in reg
+        assert "widget" not in reg
+
+    def test_missing_name_rejected(self):
+        reg = Registry("thing")
+        with pytest.raises(ValueError, match="needs a string name"):
+            reg.register()(object())
+
+    def test_unknown_get_lists_known(self):
+        reg = Registry("thing")
+        reg.add("known-entry", 1)
+        with pytest.raises(KeyError, match="known-entry"):
+            reg.get("nope")
+
+    def test_shadow_before_bootstrap_survives(self, monkeypatch):
+        # Registering over a built-in before the registry's first
+        # lookup must survive the lazy bootstrap import (last-wins).
+        import importlib as importlib_mod
+
+        reg = Registry("thing", bootstrap="fake.builtins")
+
+        def fake_import(module):
+            assert module == "fake.builtins"
+            reg._entries["calm"] = "builtin"
+            return None
+
+        monkeypatch.setattr(importlib_mod, "import_module", fake_import)
+        reg.add("calm", "mine")  # triggers bootstrap first, then stores
+        assert reg.get("calm") == "mine"
+
+    def test_last_registration_wins_and_unregister(self):
+        reg = Registry("thing")
+        reg.add("x", 1)
+        reg.add("x", 2)
+        assert reg.get("x") == 2
+        reg.unregister("x")
+        assert "x" not in reg
+        reg.unregister("x")  # no-op
+
+    def test_mapping_is_live_and_readonly(self):
+        reg = Registry("thing")
+        view = reg.mapping
+        reg.add("x", 1)
+        assert view["x"] == 1
+        with pytest.raises(TypeError):
+            view["y"] = 2
+
+
+class TestBuiltinRegistries:
+    def test_builtin_variants_present(self):
+        for name in (
+            "single",
+            "wanify-p",
+            "wanify-dynamic",
+            "wanify-tc",
+            "global-only",
+            "local-only",
+        ):
+            assert name in variant_registry
+
+    def test_builtin_policies_present(self):
+        for name in ("tetrium", "kimchi", "iridium", "vanilla-spark"):
+            assert name in policy_registry
+        # Friendly alias for the CLI.
+        assert "locality" in policy_registry
+
+    def test_builtin_scenarios_present(self):
+        for name in ("calm", "diurnal", "flash-crowd", "step-drop"):
+            assert name in scenario_registry
+
+
+class TestPlacementPolicyResolution:
+    def test_resolves_name_to_instance(self):
+        policy = placement_policy("kimchi")
+        assert isinstance(policy, PlacementPolicy)
+        assert policy.name == "kimchi"
+
+    def test_resolves_class_and_instance(self):
+        cls = placement_policy("tetrium").__class__
+        assert isinstance(placement_policy(cls), cls)
+        instance = cls()
+        assert placement_policy(instance) is instance
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(KeyError, match="tetrium"):
+            placement_policy("no-such-system")
+
+    def test_custom_policy_registered_from_test_code(self):
+        @register_policy()
+        class EastOnly(PlacementPolicy):
+            name = "east-only"
+
+            def place_stage(self, stage, data_mb_by_dc, bw, cluster):
+                first = sorted(cluster.keys)[0]
+                return {
+                    dc: 1.0 if dc == first else 0.0
+                    for dc in cluster.keys
+                }
+
+        try:
+            resolved = placement_policy("east-only")
+            assert isinstance(resolved, EastOnly)
+        finally:
+            policy_registry.unregister("east-only")
+        with pytest.raises(KeyError):
+            policy_registry.get("east-only")
+
+
+class TestScenarioRegistration:
+    def test_custom_scenario_factory(self):
+        from repro.net.dynamics import StaticModel
+        from repro.runtime.scenarios import ScenarioModel, scenario
+
+        @register_scenario("test-flatline")
+        def _flatline(base, seed):
+            return ScenarioModel(
+                base if base is not None else StaticModel(), seed
+            )
+
+        try:
+            model = scenario("test-flatline", seed=3)
+            assert model.factor(0, 1, 100.0) > 0
+        finally:
+            scenario_registry.unregister("test-flatline")
