@@ -70,20 +70,29 @@ from repro.net.profiles import (
 )
 from repro.net.topology import DataCenter, Topology
 from repro.pipeline import (
+    CachedPredictor,
     ConfigArguments,
     Deployment,
     DeploymentStrategy,
     Gauger,
+    MultiBackendPlanner,
+    PassiveTelemetryGauger,
     Pipeline,
     PipelineConfig,
     Planner,
     Predictor,
     Registry,
     ServiceConfig,
+    gauger_registry,
     layered_config,
     placement_policy,
+    planner_registry,
     policy_registry,
+    predictor_registry,
+    register_gauger,
+    register_planner,
     register_policy,
+    register_predictor,
     register_scenario,
     register_variant,
     scenario_registry,
@@ -131,6 +140,7 @@ __all__ = [
     "register_scenario_model",
     "scenario",
     "BandwidthMatrix",
+    "CachedPredictor",
     "ConfigArguments",
     "DataCenter",
     "Deployment",
@@ -139,9 +149,11 @@ __all__ = [
     "FluctuationModel",
     "Gauger",
     "GlobalPlan",
+    "MultiBackendPlanner",
     "NetworkProfile",
     "PAPER_REGIONS",
     "PUBLIC_INTERNET",
+    "PassiveTelemetryGauger",
     "Pipeline",
     "PipelineConfig",
     "Planner",
@@ -155,12 +167,18 @@ __all__ = [
     "WANifyConfig",
     "WANifyDeployment",
     "WanPredictionModel",
+    "gauger_registry",
     "layered_config",
     "network_profile",
     "optimize_connections",
     "placement_policy",
+    "planner_registry",
     "policy_registry",
+    "predictor_registry",
+    "register_gauger",
+    "register_planner",
     "register_policy",
+    "register_predictor",
     "register_scenario",
     "register_variant",
     "scenario_registry",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the things a downstream user does most:
+Seven commands cover the things a downstream user does most:
 
 =============  =========================================================
 command        what it does
@@ -13,6 +13,9 @@ command        what it does
                plus the optimized connection plan
 ``serve``      run the multi-job runtime service under a bandwidth
                scenario (optionally comparing online vs static plans)
+``sweep``      expand a ``[sweep]`` config section into a variants ×
+               scenarios × stage-choices matrix and write a JSON +
+               markdown comparison report
 =============  =========================================================
 
 Every command is deterministic given ``--seed`` (the network weather is
@@ -49,7 +52,14 @@ from repro.pipeline.config import (
     ServiceConfig,
 )
 from repro.pipeline.core import Pipeline
-from repro.pipeline.registry import policy_registry, variant_registry
+from repro.pipeline.registry import (
+    Registry,
+    gauger_registry,
+    planner_registry,
+    policy_registry,
+    predictor_registry,
+    variant_registry,
+)
 
 _PROG = "python -m repro"
 
@@ -84,6 +94,30 @@ def _experiment_registry():
     from repro.experiments.report import EXPERIMENTS
 
     return EXPERIMENTS
+
+
+def _check_registered(config: object, out: IO[str]) -> bool:
+    """Validate every registry-resolved name a config carries.
+
+    On failure, prints the known alternatives — every printed name is
+    guaranteed to resolve (the registries are the source of truth).
+    """
+    checks: tuple[tuple[str, Registry], ...] = (
+        ("variant", variant_registry),
+        ("policy", policy_registry),
+        ("gauger", gauger_registry),
+        ("predictor", predictor_registry),
+        ("planner", planner_registry),
+    )
+    for field_name, registry in checks:
+        value = getattr(config, field_name, None)
+        if value is not None and value not in registry:
+            out.write(
+                f"unknown {registry.kind} {value!r}; "
+                f"known: {', '.join(registry.names())}\n"
+            )
+            return False
+    return True
 
 
 # ----------------------------------------------------------------------
@@ -168,6 +202,8 @@ def cmd_predict(args: argparse.Namespace, out: IO[str]) -> int:
     except (OSError, ValueError) as exc:
         out.write(f"bad configuration: {exc}\n")
         return 2
+    if not _check_registered(config, out):
+        return 2
     try:
         profile = network_profile(args.profile)
         topology = Topology.build(keys, args.vm, profile=profile)
@@ -237,6 +273,9 @@ def _render_service(svc, out: IO[str]) -> None:
         f"mean JCT {summary.mean_jct_s:.1f} s, "
         f"fairness {summary.fairness:.2f}, "
         f"re-plans {summary.replans}\n"
+        f"probe cost: {summary.probe_transfers} transfers, "
+        f"{summary.probe_gb:.2f} GB, "
+        f"${summary.probe_cost_usd:.4f}\n"
     )
 
 
@@ -266,21 +305,11 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
     ):
         out.write(
             f"unknown scenario {base_config.scenario!r}; "
-            f"known: {', '.join(scenario_names())} "
+            f"known: {', '.join(scenario_names(include_composed=True))} "
             f"(join with + to compose)\n"
         )
         return 2
-    if base_config.variant not in variant_registry:
-        out.write(
-            f"unknown variant {base_config.variant!r}; "
-            f"known: {', '.join(variant_registry.names())}\n"
-        )
-        return 2
-    if base_config.policy not in policy_registry:
-        out.write(
-            f"unknown placement policy {base_config.policy!r}; "
-            f"known: {', '.join(policy_registry.names())}\n"
-        )
+    if not _check_registered(base_config, out):
         return 2
     try:
         for key in keys:
@@ -350,6 +379,48 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
                 f"\nonline/static total-JCT speedup: "
                 f"{static_total / online_total:.2f}x\n"
             )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
+    """Run (or dry-run) the sweep matrix described by a config file."""
+    from repro.experiments.sweep import (
+        load_sweep,
+        render_markdown,
+        run_sweep,
+        write_report,
+    )
+
+    if args.config_file is None:
+        out.write(
+            "sweep needs --config FILE (a TOML/JSON config with a "
+            "[sweep] table; see examples/sweep.toml)\n"
+        )
+        return 2
+    try:
+        spec = load_sweep(args.config_file)
+    except (OSError, ValueError) as exc:  # SweepError is a ValueError
+        out.write(f"bad sweep configuration: {exc}\n")
+        return 2
+    cells = spec.cells
+    swept = ", ".join(spec.swept) if spec.swept else "nothing (single cell)"
+    out.write(
+        f"sweep matrix: {spec.shape} over {swept} — {len(cells)} cells, "
+        f"{spec.jobs} jobs each (seed {spec.base.seed})\n"
+    )
+    if args.dry_run:
+        for index, cell in enumerate(cells):
+            out.write(f"  [{index + 1}/{len(cells)}] {spec.label(cell)}\n")
+        out.write("dry run: nothing executed\n")
+        return 0
+
+    def progress(index: int, total: int, label: str) -> None:
+        out.write(f"  [{index + 1}/{total}] {label}\n")
+
+    result = run_sweep(spec, progress=progress)
+    json_path, md_path = write_report(result, args.output)
+    out.write("\n" + render_markdown(result))
+    out.write(f"wrote {json_path} and {md_path}\n")
     return 0
 
 
@@ -442,6 +513,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the static baseline and print the speedup",
     )
     SERVE_CONFIG.install(p_serve)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a variants × scenarios × stage-choices matrix "
+        "from one config file",
+    )
+    p_sweep.add_argument(
+        "--config",
+        dest="config_file",
+        metavar="FILE",
+        default=None,
+        help="TOML/JSON config with a [sweep] table (see examples/sweep.toml)",
+    )
+    p_sweep.add_argument(
+        "--output",
+        default="sweep-report",
+        help="report directory (sweep.json + sweep.md are written there)",
+    )
+    p_sweep.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded matrix cells without running them",
+    )
     return parser
 
 
@@ -452,6 +546,7 @@ _COMMANDS = {
     "topology": cmd_topology,
     "predict": cmd_predict,
     "serve": cmd_serve,
+    "sweep": cmd_sweep,
 }
 
 

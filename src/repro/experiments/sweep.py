@@ -1,0 +1,418 @@
+"""Registry-driven sweep matrices: variants × scenarios × stage choices.
+
+Terra-style cross-layer comparisons need a matrix, not a single run:
+the interesting WANify results are *relative* — how much probe cost the
+passive-telemetry gauger saves, what that does to re-plan counts, which
+placement backend wins under which scenario.  This module expands a
+``[sweep]`` TOML section into a full cartesian matrix over the
+registries, runs every cell through
+:class:`~repro.runtime.service.PipelineService`, and writes a JSON +
+markdown comparison report with probe-cost and replan columns.
+
+A sweep file is an ordinary layered-config file plus one table::
+
+    # base ServiceConfig fields (same file also works with `serve`)
+    regions = ["us-east-1", "us-west-1", "ap-southeast-1"]
+    n_training_datasets = 6
+    n_estimators = 5
+
+    [sweep]
+    variants  = ["wanify-tc", "single"]
+    scenarios = ["step-drop", "diurnal+flash-crowd"]
+    gaugers   = ["snapshot", "passive-telemetry"]
+    jobs = 2
+    scale_mb = 600.0
+
+Every axis key maps to a :class:`~repro.pipeline.config.ServiceConfig`
+field and validates against the matching registry, so anything
+registered from user code sweeps the same way the built-ins do.  Cells
+that share training-relevant knobs share one trained predictor — an
+8-cell sweep trains once, not eight times.
+
+Entry points: :func:`run_sweep` in code, ``wanify sweep --config
+file.toml`` on the command line (``--dry-run`` prints the matrix
+without running it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro.net.profiles import network_profile
+from repro.net.topology import Topology
+from repro.pipeline.alternates import CachedPredictor
+from repro.pipeline.config import ServiceConfig, layered_config, load_config_file
+from repro.pipeline.core import Pipeline
+from repro.pipeline.registry import (
+    Registry,
+    build_stage,
+    gauger_registry,
+    planner_registry,
+    policy_registry,
+    predictor_registry,
+    variant_registry,
+)
+from repro.pipeline.stages import ForestPredictor
+
+#: ``[sweep]`` axis key → (ServiceConfig field, validating registry).
+#: Scenarios validate through :func:`repro.runtime.scenarios
+#: .scenario_known` instead (composed ``+`` names are legal there).
+AXES: tuple[tuple[str, str, Optional[Registry]], ...] = (
+    ("variants", "variant", variant_registry),
+    ("scenarios", "scenario", None),
+    ("gaugers", "gauger", gauger_registry),
+    ("predictors", "predictor", predictor_registry),
+    ("planners", "planner", planner_registry),
+    ("policies", "policy", policy_registry),
+)
+
+#: Entry-point defaults for sweep runs (beneath files/env/overrides):
+#: training sizes small enough that a matrix stays interactive.
+SWEEP_DEFAULTS: Mapping[str, Any] = {
+    "n_training_datasets": 8,
+    "n_estimators": 6,
+}
+
+#: Columns every report carries, beyond the axis columns.
+METRIC_COLUMNS: tuple[str, ...] = (
+    "completed",
+    "mean_jct_s",
+    "total_jct_s",
+    "makespan_s",
+    "replans",
+    "probe_transfers",
+    "probe_gb",
+    "probe_cost_usd",
+)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A fully validated sweep: base config, axes, and run knobs."""
+
+    base: ServiceConfig
+    #: ServiceConfig field → the values that axis takes (≥ 1 each).
+    axes: Mapping[str, tuple[str, ...]]
+    #: Axis fields explicitly listed in the ``[sweep]`` section, in
+    #: file order — these become the report's leading columns.
+    swept: tuple[str, ...]
+    jobs: int = 3
+    scale_mb: float = 1000.0
+    duration: Optional[float] = None
+
+    @property
+    def cells(self) -> list[dict[str, str]]:
+        """The cartesian matrix as per-cell config overrides."""
+        fields = [f for f in self.axes if len(self.axes[f]) > 0]
+        combos = itertools.product(*(self.axes[f] for f in fields))
+        return [dict(zip(fields, combo)) for combo in combos]
+
+    def label(self, cell: Mapping[str, str]) -> str:
+        """Compact ``field=value`` label over the swept axes."""
+        parts = [f"{f}={cell[f]}" for f in self.swept]
+        return " ".join(parts) if parts else "default"
+
+    @property
+    def shape(self) -> str:
+        """``2×2×2``-style description of the swept axes."""
+        sizes = [str(len(self.axes[f])) for f in self.swept]
+        return "×".join(sizes) if sizes else "1"
+
+
+class SweepError(ValueError):
+    """A sweep file failed validation (bad axis value, empty matrix…)."""
+
+
+def load_sweep(
+    path: Union[str, Path],
+    environ: Optional[Mapping[str, str]] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> SweepSpec:
+    """Parse and validate a sweep file.
+
+    The top-level table resolves through the ordinary config layers
+    (so ``WANIFY_*`` vars and ``overrides`` still apply); the
+    ``[sweep]`` table supplies the axes and the per-cell run knobs
+    (``jobs``, ``scale_mb``, ``duration``).
+    """
+    from repro.runtime.scenarios import scenario_known, scenario_names
+
+    data = load_config_file(path)
+    section = data.get("sweep", {})
+    if not isinstance(section, dict):
+        raise SweepError(f"[sweep] in {path} must be a table")
+    base = layered_config(
+        ServiceConfig,
+        path=path,
+        environ=environ,
+        overrides=overrides,
+        defaults=SWEEP_DEFAULTS,
+    )
+
+    axes: dict[str, tuple[str, ...]] = {}
+    swept: list[str] = []
+    for key, config_field_, registry in AXES:
+        raw = section.get(key)
+        if raw is None:
+            # Unswept axes still validate — a bad base-config name
+            # should fail here, not as a mid-run traceback.
+            axes[config_field_] = (getattr(base, config_field_),)
+            continue
+        if isinstance(raw, str):
+            raw = [raw]
+        if not isinstance(raw, (list, tuple)):
+            raise SweepError(
+                f"sweep axis {key!r} must be a string or a list of "
+                f"strings; got {raw!r}"
+            )
+        values = tuple(str(v) for v in raw)
+        if not values:
+            raise SweepError(f"sweep axis {key!r} is empty")
+        axes[config_field_] = values
+        swept.append(config_field_)
+    for key, config_field_, registry in AXES:
+        for value in axes[config_field_]:
+            if value is None:  # unswept optional field (scenario)
+                continue
+            if registry is not None:
+                if value not in registry:
+                    raise SweepError(
+                        f"unknown {registry.kind} {value!r} in sweep axis "
+                        f"{key!r}; known: {', '.join(registry.names())}"
+                    )
+            elif not scenario_known(value):
+                raise SweepError(
+                    f"unknown scenario {value!r} in sweep axis {key!r}; "
+                    f"known: {', '.join(scenario_names(include_composed=True))} "
+                    f"(join with + to compose)"
+                )
+
+    known_keys = {key for key, _, _ in AXES} | {"jobs", "scale_mb", "duration"}
+    unknown = sorted(set(section) - known_keys)
+    if unknown:
+        raise SweepError(
+            f"unknown [sweep] keys {unknown}; known: {sorted(known_keys)}"
+        )
+    jobs = int(section.get("jobs", 3))
+    if jobs < 1:
+        raise SweepError(f"[sweep] jobs must be ≥ 1: {jobs}")
+    scale_mb = float(section.get("scale_mb", 1000.0))
+    if scale_mb <= 0:
+        raise SweepError(f"[sweep] scale_mb must be positive: {scale_mb}")
+    duration = section.get("duration")
+    return SweepSpec(
+        base=base,
+        axes=axes,
+        swept=tuple(swept),
+        jobs=jobs,
+        scale_mb=scale_mb,
+        duration=float(duration) if duration is not None else None,
+    )
+
+
+@dataclass
+class CellResult:
+    """One matrix cell's configuration and measured outcome."""
+
+    cell: dict[str, str]
+    label: str
+    metrics: dict[str, float]
+    #: Cache statistics when the cell ran a caching predictor.
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
+    #: The backend a multi-backend planner settled on (last choice).
+    chosen_policy: Optional[str] = None
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready flat representation."""
+        out: dict[str, Any] = {"label": self.label, **self.cell}
+        out.update(self.metrics)
+        if self.cache_hits is not None:
+            out["cache_hits"] = self.cache_hits
+            out["cache_misses"] = self.cache_misses
+        if self.chosen_policy is not None:
+            out["chosen_policy"] = self.chosen_policy
+        return out
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished sweep produced."""
+
+    spec: SweepSpec
+    rows: list[CellResult] = field(default_factory=list)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready report (axes, run knobs, one row per cell)."""
+        return {
+            "shape": self.spec.shape,
+            "axes": {f: list(v) for f, v in self.spec.axes.items()},
+            "swept": list(self.spec.swept),
+            "jobs": self.spec.jobs,
+            "scale_mb": self.spec.scale_mb,
+            "duration": self.spec.duration,
+            "cells": [row.to_json() for row in self.rows],
+        }
+
+
+def _training_key(config: ServiceConfig) -> tuple:
+    """Everything the offline campaign depends on — cells sharing this
+    share one trained forest."""
+    return (
+        config.regions,
+        config.vm,
+        config.profile,
+        config.seed,
+        config.n_training_datasets,
+        config.n_estimators,
+    )
+
+
+def _cell_pipeline(
+    config: ServiceConfig, trained: dict[tuple, ForestPredictor]
+) -> Pipeline:
+    """Build the cell's pipeline, reusing a trained forest when possible.
+
+    The forest predictor is pure at inference time, so cells differing
+    only in variant / scenario / gauger / planner share one instance;
+    the ``cached`` predictor gets a fresh memo wrapper per cell so one
+    cell's cache never leaks into another's measurements.
+    """
+    profile = network_profile(config.profile)
+    base_weather = profile.fluctuation(seed=config.seed)
+    topology = Topology.build(config.regions, config.vm, profile=profile)
+    context = {"topology": topology, "weather": base_weather, "config": config}
+
+    predictor = None
+    if config.predictor in ("forest", "cached"):
+        key = _training_key(config)
+        forest = trained.get(key)
+        if forest is None:
+            forest = ForestPredictor(topology, base_weather, config)
+            forest.train(topology, base_weather, config)
+            trained[key] = forest
+        predictor = forest
+        if config.predictor == "cached":
+            predictor = CachedPredictor(
+                inner=forest,
+                ttl_s=config.cache_ttl_s,
+                drift_tolerance=config.cache_drift_tolerance,
+            )
+    else:
+        predictor = build_stage(predictor_registry, config.predictor, **context)
+
+    gauger = build_stage(gauger_registry, config.gauger, **context)
+    planner = build_stage(planner_registry, config.planner, **context)
+    return Pipeline(
+        topology,
+        base_weather,
+        config,
+        gauger=gauger,
+        predictor=predictor,
+        planner=planner,
+    )
+
+
+def run_cell(
+    spec: SweepSpec,
+    cell: Mapping[str, str],
+    trained: Optional[dict[tuple, ForestPredictor]] = None,
+) -> CellResult:
+    """Run one matrix cell end to end and collect its row."""
+    from repro.runtime.service import PipelineService, default_job_mix
+
+    config = dataclasses.replace(spec.base, **dict(cell))
+    pipeline = _cell_pipeline(config, trained if trained is not None else {})
+    service = PipelineService.build(config, pipeline=pipeline)
+    mix = default_job_mix(
+        config.regions,
+        count=spec.jobs,
+        seed=config.seed,
+        scale_mb=spec.scale_mb,
+    )
+    for delay, job in mix:
+        service.submit_at(delay, job)
+    service.run(until=spec.duration)
+    service.stop()
+    summary = service.summary()
+    metrics = {name: summary.to_row()[name] for name in METRIC_COLUMNS}
+    predictor = service.pipeline.predictor
+    planner = service.pipeline.planner
+    return CellResult(
+        cell=dict(cell),
+        label=spec.label(cell),
+        metrics=metrics,
+        cache_hits=getattr(predictor, "hits", None),
+        cache_misses=getattr(predictor, "misses", None),
+        chosen_policy=getattr(planner, "chosen_policy", None),
+    )
+
+
+def run_sweep(spec: SweepSpec, progress=None) -> SweepResult:
+    """Run every cell of the matrix (deterministic, sequential).
+
+    ``progress`` is an optional ``callable(index, total, label)`` the
+    CLI uses for per-cell status lines.
+    """
+    result = SweepResult(spec)
+    trained: dict[tuple, ForestPredictor] = {}
+    cells = spec.cells
+    for index, cell in enumerate(cells):
+        if progress is not None:
+            progress(index, len(cells), spec.label(cell))
+        result.rows.append(run_cell(spec, cell, trained))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}" if abs(value) < 1000 else f"{value:.0f}"
+    return str(value)
+
+
+def render_markdown(result: SweepResult) -> str:
+    """The comparison table as GitHub-flavored markdown."""
+    spec = result.spec
+    axis_columns = list(spec.swept) or ["variant"]
+    extra: list[str] = []
+    if any(row.cache_hits is not None for row in result.rows):
+        extra.append("cache_hits")
+    if any(row.chosen_policy is not None for row in result.rows):
+        extra.append("chosen_policy")
+    header = axis_columns + list(METRIC_COLUMNS) + extra
+    lines = [
+        f"# Sweep report ({spec.shape} matrix, {len(result.rows)} cells)",
+        "",
+        f"jobs per cell: {spec.jobs}, scale: {spec.scale_mb:.0f} MB, "
+        f"seed: {spec.base.seed}",
+        "",
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for row in result.rows:
+        flat = row.to_json()
+        cells = [_format_value(flat.get(col, "")) for col in header]
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(result: SweepResult, output: Union[str, Path]) -> tuple[Path, Path]:
+    """Write ``sweep.json`` and ``sweep.md`` under ``output``."""
+    directory = Path(output)
+    directory.mkdir(parents=True, exist_ok=True)
+    json_path = directory / "sweep.json"
+    md_path = directory / "sweep.md"
+    json_path.write_text(json.dumps(result.to_json(), indent=2) + "\n")
+    md_path.write_text(render_markdown(result))
+    return json_path, md_path

@@ -7,12 +7,16 @@ behind one object:
 * :mod:`repro.pipeline.stages` — ``Protocol`` contracts (``Gauger``,
   ``Predictor``, ``Planner``, ``DeploymentStrategy``) plus the default
   implementations (snapshot probe, Random Forest, Eq. 2/3 optimizer);
+* :mod:`repro.pipeline.alternates` — the alternate stage
+  implementations (passive-telemetry gauger, cached predictor,
+  multi-backend planner) the sweep runner compares against the
+  defaults;
 * :mod:`repro.pipeline.core` — :class:`Pipeline`, the one-shot facade
   the runtime service is also rebuilt on;
-* :mod:`repro.pipeline.registry` — string-keyed registries for
-  deployment variants, placement policies, and bandwidth scenarios,
-  with ``@register_*`` decorators that make extensions reachable from
-  every entry point with zero core edits;
+* :mod:`repro.pipeline.registry` — string-keyed registries for the
+  three stages, deployment variants, placement policies, and bandwidth
+  scenarios, with ``@register_*`` decorators that make extensions
+  reachable from every entry point with zero core edits;
 * :mod:`repro.pipeline.config` — the layered configuration system
   (dataclass defaults → TOML/JSON file → ``WANIFY_*`` env → explicit
   CLI flags/kwargs) shared by the facade, the service, and the CLI;
@@ -23,6 +27,11 @@ The legacy ``WANify`` / ``WANifyService`` classes are thin deprecated
 shims over this package.
 """
 
+from repro.pipeline.alternates import (
+    CachedPredictor,
+    MultiBackendPlanner,
+    PassiveTelemetryGauger,
+)
 from repro.pipeline.config import (
     ConfigArguments,
     PipelineConfig,
@@ -35,9 +44,16 @@ from repro.pipeline.core import Pipeline
 from repro.pipeline.deploy import Deployment, WANifyDeployment
 from repro.pipeline.registry import (
     Registry,
+    build_stage,
+    gauger_registry,
     placement_policy,
+    planner_registry,
     policy_registry,
+    predictor_registry,
+    register_gauger,
+    register_planner,
     register_policy,
+    register_predictor,
     register_scenario,
     register_variant,
     scenario_registry,
@@ -46,6 +62,8 @@ from repro.pipeline.registry import (
 from repro.pipeline.stages import (
     DeploymentStrategy,
     ForestPredictor,
+    GaugeEvent,
+    GaugeLedger,
     Gauger,
     Planner,
     Predictor,
@@ -55,11 +73,16 @@ from repro.pipeline.stages import (
 from repro.pipeline.variants import VariantStrategy
 
 __all__ = [
+    "CachedPredictor",
     "ConfigArguments",
     "Deployment",
     "DeploymentStrategy",
     "ForestPredictor",
+    "GaugeEvent",
+    "GaugeLedger",
     "Gauger",
+    "MultiBackendPlanner",
+    "PassiveTelemetryGauger",
     "Pipeline",
     "PipelineConfig",
     "Planner",
@@ -70,12 +93,19 @@ __all__ = [
     "VariantStrategy",
     "WANifyDeployment",
     "WindowPlanner",
+    "build_stage",
     "env_overrides",
+    "gauger_registry",
     "layered_config",
     "load_config_file",
     "placement_policy",
+    "planner_registry",
     "policy_registry",
+    "predictor_registry",
+    "register_gauger",
+    "register_planner",
     "register_policy",
+    "register_predictor",
     "register_scenario",
     "register_variant",
     "scenario_registry",

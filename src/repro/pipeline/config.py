@@ -69,6 +69,18 @@ class PipelineConfig:
     seed: int = config_field(13, help="weather / campaign seed")
     variant: str = config_field("wanify-tc", help="deployment variant (registered name)")
     policy: str = config_field("tetrium", help="placement policy (registered name)")
+    #: Stage choices — each names an entry in the matching stage
+    #: registry, so alternate implementations (``passive-telemetry``,
+    #: ``cached``, ``multi-backend``) are selectable from any entry
+    #: point, including the sweep matrix.
+    gauger: str = config_field("snapshot", help="gauger stage (registered name)")
+    predictor: str = config_field("forest", help="predictor stage (registered name)")
+    planner: str = config_field("window", help="planner stage (registered name)")
+    #: Knobs for the ``cached`` predictor (ignored by the others).
+    cache_ttl_s: float = config_field(600.0, help="cached predictor TTL (s)")
+    cache_drift_tolerance: float = config_field(
+        0.15, help="cached predictor re-infer threshold (relative snapshot drift)"
+    )
 
 
 @dataclass(frozen=True)

@@ -30,15 +30,14 @@ from repro.net.measurement import MeasurementReport
 from repro.net.topology import Topology
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.deploy import Deployment
-from repro.pipeline.registry import variant_registry
-from repro.pipeline.stages import (
-    ForestPredictor,
-    Gauger,
-    Planner,
-    Predictor,
-    SnapshotGauger,
-    WindowPlanner,
+from repro.pipeline.registry import (
+    build_stage,
+    gauger_registry,
+    planner_registry,
+    predictor_registry,
+    variant_registry,
 )
+from repro.pipeline.stages import Gauger, Planner, Predictor
 
 
 class Pipeline:
@@ -59,11 +58,29 @@ class Pipeline:
         # A fresh config per instance — a shared default instance would
         # alias state across pipelines if a mutable field ever lands.
         self.config = config if config is not None else PipelineConfig()
-        if predictor is None:
-            predictor = ForestPredictor(topology, self.weather, self.config)
-        self.gauger: Gauger = gauger if gauger is not None else SnapshotGauger()
-        self.predictor: Predictor = predictor
-        self.planner: Planner = planner if planner is not None else WindowPlanner()
+        # Explicit stage objects win; otherwise the config's stage
+        # names resolve through the registries (so ``--gauger
+        # passive-telemetry`` and sweep cells reach every seam).
+        context = {
+            "topology": topology,
+            "weather": self.weather,
+            "config": self.config,
+        }
+        self.gauger: Gauger = (
+            gauger
+            if gauger is not None
+            else build_stage(gauger_registry, self.config.gauger, **context)
+        )
+        self.predictor: Predictor = (
+            predictor
+            if predictor is not None
+            else build_stage(predictor_registry, self.config.predictor, **context)
+        )
+        self.planner: Planner = (
+            planner
+            if planner is not None
+            else build_stage(planner_registry, self.config.planner, **context)
+        )
 
     # ------------------------------------------------------------------
     # Offline module

@@ -1,13 +1,14 @@
 """String-keyed extension registries for the pipeline seams.
 
 Fig. 3's architecture is a staged pipeline, and every stage boundary is
-an extension point: deployment *variants* (how a plan lands on the
+an extension point: the three *stages* themselves (how BWs are gauged,
+predicted, and planned), deployment *variants* (how a plan lands on the
 network), placement *policies* (how a GDA system splits work across
 DCs), and bandwidth *scenarios* (how the substrate drifts under the
 service).  Each seam gets one :class:`Registry`, and registration makes
 a new implementation reachable from every entry point — the
-:class:`~repro.pipeline.core.Pipeline` facade, the runtime service, and
-the CLI — with zero core edits::
+:class:`~repro.pipeline.core.Pipeline` facade, the runtime service, the
+sweep runner, and the CLI — with zero core edits::
 
     from repro.pipeline import register_variant
 
@@ -18,18 +19,35 @@ the CLI — with zero core edits::
 
     pipeline.deployment("my-variant")       # works immediately
 
-Built-in entries live next to the things they construct (variants in
+Stage registrations work the same way, and their entries may be classes
+*or* factories; :func:`build_stage` constructs them, passing whatever
+subset of the ``(topology, weather, config)`` context the entry's
+signature accepts::
+
+    from repro.pipeline import register_gauger
+
+    @register_gauger("my-gauger")
+    class MyGauger:                     # zero-arg: context is optional
+        def gauge(self, topology, weather, at_time):
+            ...
+
+    Pipeline(topology, config=PipelineConfig(gauger="my-gauger"))
+
+Built-in entries live next to the things they construct (stage defaults
+in :mod:`repro.pipeline.stages`, alternates in
+:mod:`repro.pipeline.alternates`, variants in
 :mod:`repro.pipeline.variants`, policies in :mod:`repro.gda.systems`,
 scenarios in :mod:`repro.runtime.scenarios`); each registry lazily
-imports its home module on first lookup so the built-ins are always
+imports its home module(s) on first lookup so the built-ins are always
 present without import-order gymnastics.
 """
 
 from __future__ import annotations
 
 import importlib
+import inspect
 from types import MappingProxyType
-from typing import Callable, Iterator, Mapping, Optional, TypeVar
+from typing import Callable, Iterator, Mapping, Optional, Sequence, TypeVar, Union
 
 T = TypeVar("T")
 
@@ -37,21 +55,30 @@ T = TypeVar("T")
 class Registry:
     """A named string → object mapping with decorator registration.
 
-    ``bootstrap`` is a module path imported on first lookup; importing
-    it runs the built-in ``@register_*`` decorators.  Registration is
-    last-wins so tests can shadow a built-in and restore it afterwards
-    (see :meth:`unregister`).
+    ``bootstrap`` is a module path (or a sequence of them) imported on
+    first lookup; importing it runs the built-in ``@register_*``
+    decorators.  Registration is last-wins so tests can shadow a
+    built-in and restore it afterwards (see :meth:`unregister`).
     """
 
-    def __init__(self, kind: str, bootstrap: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        kind: str,
+        bootstrap: Union[str, Sequence[str], None] = None,
+    ) -> None:
         self.kind = kind
-        self._bootstrap = bootstrap
+        if isinstance(bootstrap, str):
+            bootstrap = (bootstrap,)
+        self._bootstrap: Optional[tuple[str, ...]] = (
+            tuple(bootstrap) if bootstrap is not None else None
+        )
         self._entries: dict[str, object] = {}
 
     def _ensure_bootstrapped(self) -> None:
         if self._bootstrap is not None:
-            module, self._bootstrap = self._bootstrap, None
-            importlib.import_module(module)
+            modules, self._bootstrap = self._bootstrap, None
+            for module in modules:
+                importlib.import_module(module)
 
     def register(self, name: object = None) -> Callable[[T], T]:
         """Decorator: ``@registry.register("name")``.
@@ -68,6 +95,7 @@ class Registry:
         self._ensure_bootstrapped()
 
         def decorate(obj: T, key: Optional[str] = None) -> T:
+            """Store ``obj`` under ``key`` (or its ``name`` attribute)."""
             key = key if key is not None else getattr(obj, "name", None)
             if not key or not isinstance(key, str):
                 msg = f"{self.kind} registration needs a string name; got {key!r} for {obj!r}"
@@ -122,6 +150,25 @@ class Registry:
         return MappingProxyType(self._entries)
 
 
+#: Modules whose import registers the built-in stage implementations
+#: (defaults first so alternates may wrap them).
+_STAGE_BOOTSTRAP = ("repro.pipeline.stages", "repro.pipeline.alternates")
+
+#: Gauger stage — entries are :class:`~repro.pipeline.stages.Gauger`
+#: classes/factories (``snapshot`` by default, ``passive-telemetry``
+#: in :mod:`repro.pipeline.alternates`).
+gauger_registry = Registry("gauger", bootstrap=_STAGE_BOOTSTRAP)
+
+#: Predictor stage — entries are
+#: :class:`~repro.pipeline.stages.Predictor` classes/factories
+#: (``forest`` by default, ``cached`` in the alternates).
+predictor_registry = Registry("predictor", bootstrap=_STAGE_BOOTSTRAP)
+
+#: Planner stage — entries are :class:`~repro.pipeline.stages.Planner`
+#: classes/factories (``window`` by default, ``multi-backend`` in the
+#: alternates).
+planner_registry = Registry("planner", bootstrap=_STAGE_BOOTSTRAP)
+
 #: Deployment variants — entries are :class:`DeploymentStrategy`
 #: factories (classes or zero-arg callables) built in
 #: :mod:`repro.pipeline.variants`.
@@ -136,9 +183,39 @@ policy_registry = Registry("placement policy", bootstrap="repro.gda.systems")
 #: :func:`repro.runtime.scenarios.register_scenario_model`).
 scenario_registry = Registry("scenario", bootstrap="repro.runtime.scenarios")
 
+register_gauger = gauger_registry.register
+register_predictor = predictor_registry.register
+register_planner = planner_registry.register
 register_variant = variant_registry.register
 register_policy = policy_registry.register
 register_scenario = scenario_registry.register
+
+
+def build_stage(registry: Registry, name: str, **context: object) -> object:
+    """Construct a registered stage, passing only the context it wants.
+
+    Stage entries are heterogenous: ``SnapshotGauger()`` takes nothing,
+    ``ForestPredictor(topology, weather, config)`` takes the full
+    construction context, and custom factories may take any subset.
+    This helper inspects the entry's signature and forwards only the
+    ``context`` keys it declares, so one registry holds all of them.
+    Non-callable entries (pre-built instances) are returned as-is.
+    """
+    entry = registry.get(name)
+    if not callable(entry):
+        return entry
+    try:
+        # For classes this is the __init__ signature minus ``self``
+        # (and an empty one when __init__ is inherited from object).
+        parameters = inspect.signature(entry).parameters
+    except (TypeError, ValueError):  # builtins without signatures
+        return entry()
+    accepts_kwargs = any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values())
+    if accepts_kwargs:
+        kwargs = dict(context)
+    else:
+        kwargs = {k: v for k, v in context.items() if k in parameters}
+    return entry(**kwargs)
 
 
 def placement_policy(policy: object) -> object:

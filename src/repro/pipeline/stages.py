@@ -15,11 +15,15 @@ any object with the right shape plugs in — no inheritance required:
 
 The default implementations live here too, as plain classes satisfying
 the protocols — they are what :class:`~repro.pipeline.core.Pipeline`
-builds when no stage override is supplied.
+builds when no stage override is supplied.  Each default registers
+itself in the matching stage registry (``snapshot`` / ``forest`` /
+``window``), so config files and CLI flags can name them; the alternate
+implementations live in :mod:`repro.pipeline.alternates`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
 
 from repro.core.analyzer import BandwidthAnalyzer
@@ -31,6 +35,11 @@ from repro.net.measurement import MeasurementReport, snapshot
 from repro.net.topology import Topology
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.deploy import Deployment
+from repro.pipeline.registry import (
+    register_gauger,
+    register_planner,
+    register_predictor,
+)
 
 if TYPE_CHECKING:
     from repro.pipeline.core import Pipeline
@@ -55,7 +64,9 @@ class Predictor(Protocol):
     """Maps a measurement to stable runtime bandwidths."""
 
     @property
-    def is_trained(self) -> bool: ...
+    def is_trained(self) -> bool:
+        """Whether :meth:`train` has run."""
+        ...
 
     def train(
         self,
@@ -81,7 +92,9 @@ class Planner(Protocol):
         config: PipelineConfig,
         skew_weights: Optional[dict[str, float]] = None,
         rvec: Optional[dict[str, float]] = None,
-    ) -> GlobalPlan: ...
+    ) -> GlobalPlan:
+        """A connection plan for the (predicted) matrix ``bw``."""
+        ...
 
 
 @runtime_checkable
@@ -102,7 +115,71 @@ class DeploymentStrategy(Protocol):
         rvec: Optional[dict[str, float]] = None,
         epoch_s: Optional[float] = None,
         telemetry: Optional[object] = None,
-    ) -> Deployment: ...
+    ) -> Deployment:
+        """A ready-to-install deployment for the pipeline's state."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# Probe-cost accounting
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GaugeEvent:
+    """One gauge call's cost-accounting entry.
+
+    ``transfers`` counts probe flows actually launched on the WAN —
+    zero for passive gauging; ``gigabytes``/``dollars`` mirror the
+    report's Eq. 1-style :class:`~repro.net.measurement.MeasurementCost`.
+    """
+
+    time: float
+    mode: str
+    transfers: int
+    gigabytes: float
+    dollars: float
+
+
+class GaugeLedger:
+    """Mixin: per-gauger accounting of what measurement actually cost.
+
+    Every built-in gauger records one :class:`GaugeEvent` per
+    :meth:`~Gauger.gauge` call; the runtime service and the sweep
+    runner read the totals so probe cost shows up next to completion
+    time in comparison tables (the passive gauger's whole point).
+    """
+
+    def __init__(self) -> None:
+        self.events: list[GaugeEvent] = []
+
+    def log_gauge(self, report: MeasurementReport, transfers: int) -> MeasurementReport:
+        """Append one accounting entry for ``report``; returns it."""
+        self.events.append(
+            GaugeEvent(
+                time=report.time,
+                mode=report.mode,
+                transfers=transfers,
+                gigabytes=report.cost.gigabytes,
+                dollars=report.cost.dollars,
+            )
+        )
+        return report
+
+    @property
+    def probe_transfers(self) -> int:
+        """Total probe flows launched across all gauges."""
+        return sum(event.transfers for event in self.events)
+
+    @property
+    def probe_gb(self) -> float:
+        """Total probe traffic (GB) across all gauges."""
+        return sum(event.gigabytes for event in self.events)
+
+    @property
+    def probe_cost_usd(self) -> float:
+        """Total probe cost (USD) across all gauges."""
+        return sum(event.dollars for event in self.events)
 
 
 # ----------------------------------------------------------------------
@@ -110,7 +187,7 @@ class DeploymentStrategy(Protocol):
 # ----------------------------------------------------------------------
 
 
-class SnapshotGauger:
+class SnapshotGauger(GaugeLedger):
     """The paper's 1-second active probe (§3.2, runtime monitoring)."""
 
     def gauge(
@@ -119,7 +196,9 @@ class SnapshotGauger:
         weather: object,
         at_time: float,
     ) -> MeasurementReport:
-        return snapshot(topology, weather, at_time)
+        """Probe every ordered pair simultaneously for one second."""
+        report = snapshot(topology, weather, at_time)
+        return self.log_gauge(report, transfers=topology.n * (topology.n - 1))
 
 
 class ForestPredictor:
@@ -146,6 +225,7 @@ class ForestPredictor:
 
     @property
     def is_trained(self) -> bool:
+        """Whether the forest has been fitted."""
         return self._trained
 
     def train(
@@ -154,6 +234,7 @@ class ForestPredictor:
         weather: object,
         config: PipelineConfig,
     ) -> dict[str, float]:
+        """Run the offline campaign and fit the forest on its rows."""
         training = self.analyzer.collect()
         self.model.fit(training)
         self._trained = True
@@ -165,6 +246,7 @@ class ForestPredictor:
         }
 
     def predict(self, report: MeasurementReport, topology: Topology) -> BandwidthMatrix:
+        """Stable runtime BWs for every ordered pair in ``report``."""
         return self.model.predict_matrix(report, topology)
 
     def __getattr__(self, name: str):
@@ -186,6 +268,7 @@ class WindowPlanner:
         skew_weights: Optional[dict[str, float]] = None,
         rvec: Optional[dict[str, float]] = None,
     ) -> GlobalPlan:
+        """Optimize per-pair connection windows for ``bw``."""
         return optimize_connections(
             bw,
             max_connections=config.max_connections,
@@ -193,3 +276,12 @@ class WindowPlanner:
             skew_weights=skew_weights,
             rvec=rvec,
         )
+
+
+# Registered after the class definitions (not as decorators): the first
+# registration bootstraps the registries, which imports the alternates
+# module, which imports these classes — a decorator would fire before
+# its own class exists.
+register_gauger("snapshot")(SnapshotGauger)
+register_predictor("forest")(ForestPredictor)
+register_planner("window")(WindowPlanner)

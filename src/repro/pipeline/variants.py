@@ -55,6 +55,7 @@ class VariantStrategy:
         epoch_s: Optional[float] = None,
         telemetry: Optional[object] = None,
     ) -> Deployment:
+        """Resolve ``bw`` (predicting if absent), then build + configure."""
         if bw is None:
             bw = pipeline.predict(at_time=at_time)
         deployment = self.deployment(pipeline, bw, skew_weights, rvec)
@@ -80,6 +81,7 @@ class VariantStrategy:
         skew_weights: Optional[dict[str, float]],
         rvec: Optional[dict[str, float]],
     ) -> Deployment:
+        """Variant-specific plan construction (subclasses implement)."""
         raise NotImplementedError
 
 
@@ -99,7 +101,7 @@ class SingleConnection(VariantStrategy):
         epoch_s: Optional[float] = None,
         telemetry: Optional[object] = None,
     ) -> Deployment:
-        # Deliberately skips prediction — nothing consumes it.
+        """An empty deployment (deliberately skips prediction)."""
         deployment = Deployment(self.name, None, agents=False, throttling=False)
         return self.configure(deployment, epoch_s, telemetry)
 
@@ -111,6 +113,7 @@ class UniformParallel(VariantStrategy):
     name = "wanify-p"
 
     def deployment(self, pipeline, bw, skew_weights, rvec) -> Deployment:
+        """A flat max-connections plan, no agents or throttles."""
         plan = uniform_plan(bw, pipeline.config.max_connections)
         return Deployment(self.name, plan, agents=False, throttling=False)
 
@@ -122,6 +125,7 @@ class LocalOnly(VariantStrategy):
     name = "local-only"
 
     def deployment(self, pipeline, bw, skew_weights, rvec) -> Deployment:
+        """AIMD agents inside the full static 1–max window."""
         plan = static_range_plan(bw, 1, pipeline.config.max_connections)
         return Deployment(self.name, plan, agents=True, throttling=True)
 
@@ -133,6 +137,7 @@ class GlobalOnly(VariantStrategy):
     name = "global-only"
 
     def deployment(self, pipeline, bw, skew_weights, rvec) -> Deployment:
+        """The optimizer's window, installed statically."""
         plan = pipeline.plan(bw, skew_weights, rvec)
         return Deployment(self.name, plan, agents=False, throttling=False)
 
@@ -144,6 +149,7 @@ class DynamicNoThrottle(VariantStrategy):
     name = "wanify-dynamic"
 
     def deployment(self, pipeline, bw, skew_weights, rvec) -> Deployment:
+        """Optimized windows + AIMD agents, throttling off."""
         plan = pipeline.plan(bw, skew_weights, rvec)
         return Deployment(self.name, plan, agents=True, throttling=False)
 
@@ -155,5 +161,6 @@ class ThrottledDynamic(VariantStrategy):
     name = "wanify-tc"
 
     def deployment(self, pipeline, bw, skew_weights, rvec) -> Deployment:
+        """Optimized windows + AIMD agents + TC throttling."""
         plan = pipeline.plan(bw, skew_weights, rvec)
         return Deployment(self.name, plan, agents=True, throttling=True)

@@ -121,6 +121,7 @@ class JobRun:
         migration_start = sim.now
 
         def migrated() -> None:
+            """Record migration time, then enter the first stage."""
             self._migration_s = sim.now - migration_start
             self._begin_stage(0)
 
@@ -190,6 +191,7 @@ class JobRun:
         metrics.compute_s = compute_s
 
         def computed() -> None:
+            """Close this stage's books and advance to the next."""
             self._stages.append(metrics)
             self._data = {
                 dc: mb * stage.output_ratio
@@ -216,6 +218,7 @@ class JobRun:
         pending = [len(transfers)]
 
         def done(transfer) -> None:
+            """Tally one finished transfer; fire ``then`` on the last."""
             self.wan_mbits += transfer.size_mbits
             pending[0] -= 1
             if pending[0] == 0:

@@ -125,6 +125,7 @@ class DiurnalSwing(ScenarioModel):
     phase_spread: float = 0.6
 
     def shape(self, i: int, j: int, t: float) -> float:
+        """Phase-spread sinusoid dipping to ``1 − amplitude``."""
         rng = _link_hash(self.seed ^ _SELECT_SALT, i, j, -4)
         phase = float(rng.uniform(-self.phase_spread, self.phase_spread))
         return 1.0 - self.amplitude * (
@@ -148,6 +149,7 @@ class FlashCrowd(ScenarioModel):
     hit_fraction: float = 0.5
 
     def shape(self, i: int, j: int, t: float) -> float:
+        """Ramp down to ``depth``, hold, ramp back (selected links)."""
         if not _selected(self.seed, i, j, self.hit_fraction):
             return 1.0
         onset = _ramp(t, self.start_s, self.ramp_s)
@@ -179,6 +181,7 @@ class LinkDegradation(ScenarioModel):
         return _selected(self.seed, i, j, self.hit_fraction)
 
     def shape(self, i: int, j: int, t: float) -> float:
+        """Ramp hit links down to ``residual`` and hold there."""
         if not self._hit(i, j):
             return 1.0
         progress = _ramp(t, self.start_s, self.ramp_s)
@@ -198,6 +201,7 @@ class StepDrop(ScenarioModel):
     level: float = 0.55
 
     def shape(self, i: int, j: int, t: float) -> float:
+        """``level`` everywhere once ``at_s`` passes."""
         return self.level if t >= self.at_s else 1.0
 
 
@@ -216,6 +220,7 @@ class ComposedScenario(ScenarioModel):
     parts: tuple[ScenarioModel, ...] = ()
 
     def shape(self, i: int, j: int, t: float) -> float:
+        """Product of every part's shape."""
         combined = 1.0
         for part in self.parts:
             combined *= part.shape(i, j, t)
@@ -271,10 +276,32 @@ register_scenario_model(StepDrop)
 #: appear here too.
 SCENARIOS = scenario_registry.mapping
 
+#: Composed spellings advertised by entry points (help strings, error
+#: messages, the sweep axis validator).  Composition is open-ended —
+#: any ``+``-join of registered names resolves — but discoverability
+#: needs concrete examples, and everything listed here is covered by a
+#: resolve test.
+FEATURED_COMPOSITIONS: tuple[str, ...] = (
+    "diurnal+flash-crowd",
+    "step-drop+link-degradation",
+)
 
-def scenario_names() -> tuple[str, ...]:
-    """All registered scenario names, sorted (atomic names only)."""
-    return scenario_registry.names()
+
+def scenario_names(include_composed: bool = False) -> tuple[str, ...]:
+    """All registered scenario names, sorted (atomic names first).
+
+    Registered names are atomic; any ``+``-join of them also resolves
+    (``scenario("diurnal+flash-crowd")``).  With ``include_composed``,
+    the :data:`FEATURED_COMPOSITIONS` examples are appended so entry
+    points that print "known scenarios" advertise the composition
+    syntax with names that actually work.
+    """
+    names = scenario_registry.names()
+    if include_composed:
+        names += tuple(
+            name for name in FEATURED_COMPOSITIONS if scenario_known(name)
+        )
+    return names
 
 
 def _split_composed(name: str) -> list[str]:

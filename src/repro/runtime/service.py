@@ -78,6 +78,11 @@ class ServiceSummary:
     fairness: float
     replans: int
     telemetry_samples: int
+    #: Probe accounting read off the gauger's ledger — zero across the
+    #: board for a passive-telemetry run.
+    probe_transfers: int = 0
+    probe_gb: float = 0.0
+    probe_cost_usd: float = 0.0
     events: list[ReplanEvent] = field(default_factory=list)
 
     def to_row(self) -> dict[str, float]:
@@ -91,6 +96,9 @@ class ServiceSummary:
             "jobs_per_hour": self.jobs_per_hour,
             "fairness": self.fairness,
             "replans": float(self.replans),
+            "probe_transfers": float(self.probe_transfers),
+            "probe_gb": self.probe_gb,
+            "probe_cost_usd": self.probe_cost_usd,
         }
 
 
@@ -115,6 +123,11 @@ class PipelineService:
         self.telemetry = TelemetryStore(
             window_s=self.config.telemetry_window_s
         )
+        # Telemetry handoff: a gauger that can consume the shared store
+        # (the passive-telemetry alternate) gets it before first gauge.
+        binder = getattr(self.pipeline.gauger, "bind_telemetry", None)
+        if callable(binder):
+            binder(self.telemetry)
         self.scheduler = JobScheduler(
             cluster,
             max_concurrent=self.config.max_concurrent,
@@ -135,6 +148,7 @@ class PipelineService:
         cls,
         config: Optional[ServiceConfig] = None,
         weather: Optional[object] = None,
+        pipeline: Optional[Pipeline] = None,
     ) -> "PipelineService":
         """Build, train, and start a service from a config.
 
@@ -143,6 +157,9 @@ class PipelineService:
         Pass ``weather`` (any ``factor``/``snapshot_jitter`` model) to
         override the named scenario — e.g. a
         :class:`~repro.runtime.scenarios.StepDrop` with custom timing.
+        Pass ``pipeline`` to reuse a pre-built (possibly pre-trained)
+        pipeline — the sweep runner shares one trained predictor
+        across matrix cells this way.
         """
         config = config if config is not None else ServiceConfig()
         profile = network_profile(config.profile)
@@ -159,8 +176,10 @@ class PipelineService:
             fluctuation=weather,
             profile=profile,
         )
-        pipeline = Pipeline(cluster.topology, base, config)
-        pipeline.train()
+        if pipeline is None:
+            pipeline = Pipeline(cluster.topology, base, config)
+        if not pipeline.is_trained:
+            pipeline.train()
         service = cls(cluster, pipeline, config)
         service.start()
         return service
@@ -248,6 +267,12 @@ class PipelineService:
             deployment.throttling = False
         deployment.install(self.network)
         self.deployment = deployment
+        # A planner that scores placement backends (the multi-backend
+        # alternate) steers the scheduler: jobs submitted after this
+        # (re-)plan run under the backend predicted fastest *now*.
+        chosen = getattr(self.pipeline.planner, "chosen_policy", None)
+        if chosen is not None:
+            self.scheduler.default_policy = chosen
 
     def _teardown(self) -> None:
         if self.deployment is not None:
@@ -317,6 +342,7 @@ class PipelineService:
     def summary(self) -> ServiceSummary:
         """Aggregate statistics for everything completed so far."""
         stats = self.scheduler.stats()
+        gauger = self.pipeline.gauger
         return ServiceSummary(
             completed=int(stats["completed"]),
             mean_wait_s=stats["mean_wait_s"],
@@ -327,6 +353,9 @@ class PipelineService:
             fairness=stats["fairness"],
             replans=len(self.replans),
             telemetry_samples=self.telemetry.total_samples,
+            probe_transfers=int(getattr(gauger, "probe_transfers", 0)),
+            probe_gb=float(getattr(gauger, "probe_gb", 0.0)),
+            probe_cost_usd=float(getattr(gauger, "probe_cost_usd", 0.0)),
             events=list(self.replans),
         )
 

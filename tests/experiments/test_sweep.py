@@ -1,0 +1,166 @@
+"""Tests for the registry-driven sweep runner
+(:mod:`repro.experiments.sweep`)."""
+
+import json
+
+import pytest
+
+from repro.experiments.sweep import (
+    SweepError,
+    load_sweep,
+    render_markdown,
+    run_sweep,
+    write_report,
+)
+
+#: Two tiny regions + miniature training keep a real run in seconds.
+FAST_BASE = """
+regions = ["us-east-1", "us-west-1"]
+n_training_datasets = 3
+n_estimators = 2
+seed = 11
+"""
+
+
+def write_toml(tmp_path, body, name="sweep.toml"):
+    path = tmp_path / name
+    path.write_text(body)
+    return path
+
+
+class TestLoadSweep:
+    def test_expands_the_full_matrix(self, tmp_path):
+        path = write_toml(
+            tmp_path,
+            FAST_BASE
+            + """
+[sweep]
+variants = ["wanify-tc", "single"]
+scenarios = ["step-drop", "calm"]
+gaugers = ["snapshot", "passive-telemetry"]
+""",
+        )
+        spec = load_sweep(path)
+        assert spec.shape == "2×2×2"
+        assert len(spec.cells) == 8
+        assert spec.swept == ("variant", "scenario", "gauger")
+        labels = {spec.label(cell) for cell in spec.cells}
+        assert "variant=single scenario=calm gauger=passive-telemetry" in labels
+
+    def test_unswept_axes_take_the_base_value(self, tmp_path):
+        path = write_toml(
+            tmp_path,
+            FAST_BASE + "\n[sweep]\ngaugers = [\"snapshot\", \"passive\"]\n",
+        )
+        spec = load_sweep(path)
+        assert len(spec.cells) == 2
+        assert all(cell["variant"] == "wanify-tc" for cell in spec.cells)
+        assert all(cell["predictor"] == "forest" for cell in spec.cells)
+
+    def test_composed_scenarios_are_legal_axis_values(self, tmp_path):
+        path = write_toml(
+            tmp_path,
+            FAST_BASE
+            + "\n[sweep]\nscenarios = [\"diurnal+flash-crowd\"]\n",
+        )
+        assert load_sweep(path).cells[0]["scenario"] == "diurnal+flash-crowd"
+
+    def test_unknown_axis_value_fails_with_known_names(self, tmp_path):
+        path = write_toml(
+            tmp_path, FAST_BASE + "\n[sweep]\ngaugers = [\"sonar\"]\n"
+        )
+        with pytest.raises(SweepError, match="passive-telemetry"):
+            load_sweep(path)
+
+    def test_unknown_scenario_fails_with_composition_hint(self, tmp_path):
+        path = write_toml(
+            tmp_path, FAST_BASE + "\n[sweep]\nscenarios = [\"quake\"]\n"
+        )
+        with pytest.raises(SweepError, match=r"join with \+"):
+            load_sweep(path)
+
+    def test_bad_base_config_name_fails_at_load_time(self, tmp_path):
+        # A bad registry name pinned in the *top-level* table (an
+        # unswept axis) must fail validation, not traceback mid-run.
+        path = write_toml(
+            tmp_path,
+            FAST_BASE + 'gauger = "sonar"\n\n[sweep]\njobs = 1\n',
+        )
+        with pytest.raises(SweepError, match="sonar"):
+            load_sweep(path)
+
+    def test_non_list_axis_value_fails_cleanly(self, tmp_path):
+        path = write_toml(tmp_path, FAST_BASE + "\n[sweep]\ngaugers = 5\n")
+        with pytest.raises(SweepError, match="list of"):
+            load_sweep(path)
+
+    def test_unknown_sweep_key_fails(self, tmp_path):
+        path = write_toml(
+            tmp_path, FAST_BASE + "\n[sweep]\nvariations = [\"wanify-tc\"]\n"
+        )
+        with pytest.raises(SweepError, match="variations"):
+            load_sweep(path)
+
+    def test_bad_jobs_fails(self, tmp_path):
+        path = write_toml(tmp_path, FAST_BASE + "\n[sweep]\njobs = 0\n")
+        with pytest.raises(SweepError, match="jobs"):
+            load_sweep(path)
+
+    def test_example_sweep_file_is_valid(self):
+        spec = load_sweep("examples/sweep.toml")
+        assert spec.shape == "2×2×2"
+        assert len(spec.cells) == 8
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        """One real 1×2 run shared by the assertions below."""
+        path = write_toml(
+            tmp_path_factory.mktemp("sweep"),
+            FAST_BASE
+            + """
+[sweep]
+gaugers = ["snapshot", "passive-telemetry"]
+jobs = 1
+scale_mb = 300.0
+""",
+        )
+        return run_sweep(load_sweep(path))
+
+    def test_every_cell_completed_its_jobs(self, result):
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.metrics["completed"] == 1.0
+
+    def test_passive_cell_has_zero_probe_transfers(self, result):
+        by_gauger = {row.cell["gauger"]: row for row in result.rows}
+        passive = by_gauger["passive-telemetry"]
+        active = by_gauger["snapshot"]
+        assert passive.metrics["probe_transfers"] == 0.0
+        assert passive.metrics["probe_gb"] == 0.0
+        assert passive.metrics["probe_cost_usd"] == 0.0
+        assert active.metrics["probe_transfers"] > 0
+
+    def test_reports_written(self, result, tmp_path):
+        json_path, md_path = write_report(result, tmp_path / "report")
+        data = json.loads(json_path.read_text())
+        assert data["shape"] == "2"
+        assert len(data["cells"]) == 2
+        assert {c["gauger"] for c in data["cells"]} == {
+            "snapshot",
+            "passive-telemetry",
+        }
+        markdown = md_path.read_text()
+        assert "probe_transfers" in markdown
+        assert "passive-telemetry" in markdown
+
+    def test_markdown_has_one_row_per_cell(self, result):
+        lines = render_markdown(result).splitlines()
+        table_rows = [
+            line
+            for line in lines
+            if line.startswith("|") and "---" not in line
+        ]
+        # Header + 2 cells.
+        assert len(table_rows) == 3

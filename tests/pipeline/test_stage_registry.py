@@ -1,0 +1,146 @@
+"""Tests for the stage-level registries and ``build_stage``."""
+
+import pytest
+
+from repro.net.dynamics import FluctuationModel
+from repro.net.topology import Topology
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.pipeline.registry import (
+    build_stage,
+    gauger_registry,
+    planner_registry,
+    predictor_registry,
+    register_gauger,
+)
+from repro.pipeline.stages import ForestPredictor, SnapshotGauger, WindowPlanner
+
+
+def small_topology():
+    return Topology.build(("us-east-1", "us-west-1"), "t2.medium")
+
+
+class TestBuiltinEntries:
+    def test_default_stage_names_registered(self):
+        assert "snapshot" in gauger_registry
+        assert "forest" in predictor_registry
+        assert "window" in planner_registry
+
+    def test_alternate_stage_names_registered(self):
+        assert "passive-telemetry" in gauger_registry
+        assert "passive" in gauger_registry  # alias
+        assert "cached" in predictor_registry
+        assert "multi-backend" in planner_registry
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="snapshot"):
+            gauger_registry.get("sonar")
+
+
+class TestBuildStage:
+    def test_zero_arg_class_ignores_context(self):
+        topology = small_topology()
+        stage = build_stage(
+            gauger_registry,
+            "snapshot",
+            topology=topology,
+            weather=None,
+            config=PipelineConfig(),
+        )
+        assert isinstance(stage, SnapshotGauger)
+
+    def test_context_consuming_class_receives_it(self):
+        topology = small_topology()
+        config = PipelineConfig(n_training_datasets=3, n_estimators=2)
+        stage = build_stage(
+            predictor_registry,
+            "forest",
+            topology=topology,
+            weather=FluctuationModel(seed=1),
+            config=config,
+        )
+        assert isinstance(stage, ForestPredictor)
+        assert not stage.is_trained
+
+    def test_factory_function_entries_work(self):
+        @register_gauger("probe-twice")
+        def build_probe_twice(config):
+            return ("factory-made", config.seed)
+
+        try:
+            made = build_stage(
+                gauger_registry,
+                "probe-twice",
+                topology=None,
+                weather=None,
+                config=PipelineConfig(seed=99),
+            )
+            assert made == ("factory-made", 99)
+        finally:
+            gauger_registry.unregister("probe-twice")
+
+    def test_non_callable_entry_returned_as_is(self):
+        sentinel = object()
+        gauger_registry.add("prebuilt", sentinel)
+        try:
+            assert build_stage(gauger_registry, "prebuilt") is sentinel
+        finally:
+            gauger_registry.unregister("prebuilt")
+
+
+class TestPipelineResolution:
+    def test_config_names_resolve_stages(self):
+        config = PipelineConfig(
+            n_training_datasets=3,
+            n_estimators=2,
+            gauger="snapshot",
+            predictor="forest",
+            planner="window",
+        )
+        pipe = Pipeline(small_topology(), FluctuationModel(seed=2), config)
+        assert isinstance(pipe.gauger, SnapshotGauger)
+        assert isinstance(pipe.predictor, ForestPredictor)
+        assert isinstance(pipe.planner, WindowPlanner)
+
+    def test_explicit_stage_object_wins_over_config_name(self):
+        class FakePlanner:
+            def plan(self, bw, config, skew_weights=None, rvec=None):
+                raise NotImplementedError
+
+        config = PipelineConfig(
+            n_training_datasets=3, n_estimators=2, planner="multi-backend"
+        )
+        pipe = Pipeline(
+            small_topology(),
+            FluctuationModel(seed=2),
+            config,
+            planner=FakePlanner(),
+        )
+        assert isinstance(pipe.planner, FakePlanner)
+
+    def test_custom_registered_gauger_reachable_by_config_name(self):
+        from repro.net.measurement import snapshot
+
+        @register_gauger("loud-snapshot")
+        class LoudSnapshot:
+            def __init__(self):
+                self.calls = 0
+
+            def gauge(self, topology, weather, at_time):
+                self.calls += 1
+                return snapshot(topology, weather, at_time)
+
+        try:
+            config = PipelineConfig(
+                n_training_datasets=3, n_estimators=2, gauger="loud-snapshot"
+            )
+            pipe = Pipeline(small_topology(), FluctuationModel(seed=3), config)
+            assert isinstance(pipe.gauger, LoudSnapshot)
+            pipe.gauge(at_time=10.0)
+            assert pipe.gauger.calls == 1
+        finally:
+            gauger_registry.unregister("loud-snapshot")
+
+    def test_unknown_stage_name_raises_with_known_names(self):
+        config = PipelineConfig(gauger="definitely-not-registered")
+        with pytest.raises(KeyError, match="passive-telemetry"):
+            Pipeline(small_topology(), FluctuationModel(seed=4), config)

@@ -1,0 +1,41 @@
+"""Discoverability of scenario names, including ``+``-composed ones."""
+
+import pytest
+
+from repro.runtime.scenarios import (
+    FEATURED_COMPOSITIONS,
+    scenario,
+    scenario_known,
+    scenario_names,
+)
+
+
+class TestScenarioNames:
+    def test_atomic_names_only_by_default(self):
+        for name in scenario_names():
+            assert "+" not in name
+
+    def test_include_composed_appends_featured_spellings(self):
+        names = scenario_names(include_composed=True)
+        for composed in FEATURED_COMPOSITIONS:
+            assert composed in names
+
+    def test_every_advertised_name_resolves(self):
+        # The contract entry points rely on: anything scenario_names()
+        # prints — atomic or composed — must build.
+        for name in scenario_names(include_composed=True):
+            assert scenario_known(name), name
+            model = scenario(name, seed=3)
+            assert model.factor(0, 1, 0.0) > 0.0
+
+    def test_composition_of_any_two_atomic_names_resolves(self):
+        atomic = scenario_names()
+        for left in atomic:
+            for right in atomic:
+                assert scenario_known(f"{left}+{right}")
+
+    def test_unknown_part_makes_composition_unknown(self):
+        assert not scenario_known("diurnal+quake")
+        assert not scenario_known("")
+        with pytest.raises(KeyError):
+            scenario("diurnal+quake")

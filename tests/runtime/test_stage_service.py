@@ -1,0 +1,80 @@
+"""Service-level behavior of the alternate stages: telemetry handoff,
+probe accounting, and multi-backend policy steering."""
+
+import pytest
+
+from repro.pipeline.alternates import MultiBackendPlanner
+from repro.pipeline.config import ServiceConfig
+from repro.runtime.service import PipelineService, default_job_mix
+
+REGIONS = ("us-east-1", "us-west-1")
+
+FAST = dict(
+    regions=REGIONS,
+    n_training_datasets=3,
+    n_estimators=2,
+    seed=5,
+    scenario="step-drop",
+)
+
+
+class TestPassiveServiceRun:
+    @pytest.fixture(scope="class")
+    def service(self):
+        svc = PipelineService.build(
+            ServiceConfig(**FAST, gauger="passive-telemetry")
+        )
+        for delay, job in default_job_mix(
+            REGIONS, count=2, seed=5, scale_mb=300.0
+        ):
+            svc.submit_at(delay, job)
+        svc.run()
+        svc.stop()
+        return svc
+
+    def test_telemetry_handoff_binds_the_shared_store(self, service):
+        assert service.pipeline.gauger.store is service.telemetry
+
+    def test_summary_reports_zero_probe_cost(self, service):
+        summary = service.summary()
+        assert summary.completed == 2
+        assert summary.probe_transfers == 0
+        assert summary.probe_gb == 0.0
+        assert summary.probe_cost_usd == 0.0
+
+    def test_probe_columns_in_row(self, service):
+        row = service.summary().to_row()
+        assert row["probe_transfers"] == 0.0
+        assert "probe_cost_usd" in row
+
+
+class TestSnapshotServiceRun:
+    def test_summary_prices_the_initial_gauge(self):
+        svc = PipelineService.build(ServiceConfig(**FAST))
+        svc.stop()
+        summary = svc.summary()
+        n = len(REGIONS)
+        assert summary.probe_transfers == n * (n - 1)
+        assert summary.probe_gb > 0.0
+
+
+class TestMultiBackendSteering:
+    def test_scheduler_follows_the_planner_choice(self):
+        svc = PipelineService.build(
+            ServiceConfig(**FAST, planner="multi-backend")
+        )
+        svc.stop()
+        planner = svc.pipeline.planner
+        assert planner.chosen_policy in MultiBackendPlanner.DEFAULT_BACKENDS
+        assert svc.scheduler.default_policy == planner.chosen_policy
+
+    def test_submitted_job_runs_under_the_chosen_backend(self):
+        svc = PipelineService.build(
+            ServiceConfig(**FAST, planner="multi-backend")
+        )
+        job = default_job_mix(REGIONS, count=1, seed=5, scale_mb=200.0)[0][1]
+        ticket = svc.submit(job)
+        assert ticket.policy.name == svc.pipeline.planner.chosen_policy
+        svc.run()
+        svc.stop()
+        assert ticket.state == "done"

@@ -210,6 +210,99 @@ class TestServe:
         assert first == second
 
 
+class TestSweep:
+    def test_dry_run_expands_the_example_matrix(self):
+        code, text = run_cli(
+            "sweep", "--config", "examples/sweep.toml", "--dry-run"
+        )
+        assert code == 0
+        assert "2×2×2" in text
+        assert "8 cells" in text
+        assert "gauger=passive-telemetry" in text
+        assert "dry run: nothing executed" in text
+
+    def test_missing_config_fails_cleanly(self):
+        code, text = run_cli("sweep")
+        assert code == 2
+        assert "--config" in text
+
+    def test_bad_axis_value_fails_cleanly(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text('[sweep]\ngaugers = ["sonar"]\n')
+        code, text = run_cli("sweep", "--config", str(path), "--dry-run")
+        assert code == 2
+        assert "sonar" in text
+
+    def test_tiny_sweep_writes_reports(self, tmp_path):
+        path = tmp_path / "tiny.toml"
+        path.write_text(
+            'regions = ["us-east-1", "us-west-1"]\n'
+            "n_training_datasets = 3\n"
+            "n_estimators = 2\n"
+            "[sweep]\n"
+            'gaugers = ["snapshot", "passive-telemetry"]\n'
+            "jobs = 1\n"
+            "scale_mb = 300.0\n"
+        )
+        out_dir = tmp_path / "report"
+        code, text = run_cli(
+            "sweep", "--config", str(path), "--output", str(out_dir)
+        )
+        assert code == 0
+        assert (out_dir / "sweep.json").exists()
+        assert (out_dir / "sweep.md").exists()
+        assert "probe_transfers" in text
+
+
+class TestRegisteredNameErrors:
+    """Every name an error message advertises must actually resolve."""
+
+    def test_unknown_gauger_fails_cleanly(self):
+        code, text = run_cli("serve", "--gauger", "sonar")
+        assert code == 2
+        assert "unknown gauger" in text
+
+    def test_unknown_predictor_fails_cleanly_in_predict(self):
+        code, text = run_cli("predict", "--predictor", "oracle")
+        assert code == 2
+        assert "unknown predictor" in text
+
+    @staticmethod
+    def advertised_names(text: str) -> list[str]:
+        known = text.split("known:", 1)[1]
+        known = known.split("(")[0]  # drop the "(join with +…)" hint
+        return [name.strip() for name in known.split(",") if name.strip()]
+
+    def test_scenario_error_names_all_resolve(self):
+        from repro.runtime.scenarios import scenario_known
+
+        _, text = run_cli("serve", "--scenario", "meteor-strike")
+        names = self.advertised_names(text)
+        assert "diurnal+flash-crowd" in names  # composition is advertised
+        for name in names:
+            assert scenario_known(name), name
+
+    @pytest.mark.parametrize(
+        "flag, registry_name",
+        [
+            ("--variant", "variant_registry"),
+            ("--policy", "policy_registry"),
+            ("--gauger", "gauger_registry"),
+            ("--predictor", "predictor_registry"),
+            ("--planner", "planner_registry"),
+        ],
+    )
+    def test_registry_error_names_all_resolve(self, flag, registry_name):
+        import repro.pipeline.registry as registry_module
+
+        registry = getattr(registry_module, registry_name)
+        _, text = run_cli("serve", flag, "nope-not-registered")
+        names = self.advertised_names(text)
+        assert names, text
+        for name in names:
+            assert name in registry, name
+
+
 class TestProfiles:
     def test_topology_profile_flag(self):
         code, text = run_cli(

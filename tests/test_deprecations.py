@@ -1,0 +1,102 @@
+"""The deprecated spellings must warn and delegate to the new API.
+
+Covers the PR-2 migration contract: ``WANify`` / ``WANifyService`` and
+the legacy method names (``predict_runtime_bw``, ``make_plan``,
+``snapshot_report``) stay working as thin shims over
+:class:`repro.pipeline.Pipeline` / ``PipelineService`` while emitting
+``DeprecationWarning`` — the migration table lives in docs/API.md.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.interface import WANify, WANifyConfig
+from repro.net.dynamics import FluctuationModel
+from repro.net.topology import Topology
+from repro.pipeline import Pipeline, PipelineConfig, ServiceConfig
+from repro.runtime.service import PipelineService, WANifyService
+
+REGIONS = ("us-east-1", "us-west-1")
+FAST = PipelineConfig(n_training_datasets=3, n_estimators=2, seed=6)
+
+
+def topology():
+    return Topology.build(REGIONS, "t2.medium")
+
+
+@pytest.fixture(scope="module")
+def legacy():
+    """One trained legacy facade (construction warning swallowed)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        facade = WANify(topology(), FluctuationModel(seed=6), FAST)
+    facade.train()
+    return facade
+
+
+class TestWANifyShim:
+    def test_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="WANify is deprecated"):
+            WANify(topology(), FluctuationModel(seed=6), FAST)
+
+    def test_is_a_pipeline(self, legacy):
+        assert isinstance(legacy, Pipeline)
+
+    def test_wanify_config_is_a_pipeline_config(self):
+        assert issubclass(WANifyConfig, PipelineConfig)
+
+    def test_snapshot_report_delegates_to_gauge(self, legacy):
+        report = legacy.snapshot_report(at_time=100.0)
+        assert report.mode == "snapshot"
+        assert report.time == 100.0
+
+    def test_predict_runtime_bw_delegates_to_predict(self, legacy):
+        report = legacy.snapshot_report(at_time=100.0)
+        via_legacy = legacy.predict_runtime_bw(report=report)
+        via_new = legacy.predict(report=report)
+        assert np.allclose(
+            via_legacy.off_diagonal(), via_new.off_diagonal()
+        )
+
+    def test_make_plan_delegates_to_plan(self, legacy):
+        bw = legacy.predict_runtime_bw(at_time=100.0)
+        legacy_plan = legacy.make_plan(bw)
+        new_plan = legacy.plan(bw)
+        assert legacy_plan.max_bw.min_bw() == pytest.approx(
+            new_plan.max_bw.min_bw()
+        )
+
+    def test_legacy_fluctuation_and_analyzer_names(self, legacy):
+        assert legacy.fluctuation is legacy.weather
+        assert legacy.analyzer is legacy.predictor.analyzer
+
+
+class TestWANifyServiceShim:
+    def test_construction_warns_and_delegates(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            reference = PipelineService.build(
+                ServiceConfig(
+                    regions=REGIONS,
+                    n_training_datasets=3,
+                    n_estimators=2,
+                    seed=6,
+                )
+            )
+        reference.stop()
+        with pytest.warns(
+            DeprecationWarning, match="WANifyService is deprecated"
+        ):
+            shim = WANifyService(
+                reference.cluster, reference.pipeline, reference.config
+            )
+        assert isinstance(shim, PipelineService)
+        # The legacy accessors still read through to the pipeline.
+        assert shim.wanify is reference.pipeline
+
+    def test_lazy_top_level_export_is_the_shim(self):
+        import repro
+
+        assert repro.WANifyService is WANifyService

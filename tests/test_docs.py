@@ -1,0 +1,65 @@
+"""The docs checker (scripts/check_docs.py) as part of tier-1.
+
+The CI docs job runs the same script; keeping it in the suite means a
+doc-breaking rename fails locally before it fails in CI.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocsHealth:
+    def test_docs_exist_and_are_linked_from_readme(self):
+        readme = (REPO / "README.md").read_text()
+        assert (REPO / "docs" / "ARCHITECTURE.md").exists()
+        assert (REPO / "docs" / "API.md").exists()
+        assert "docs/ARCHITECTURE.md" in readme
+        assert "docs/API.md" in readme
+
+    def test_checker_passes(self, check_docs, capsys):
+        assert check_docs.main() == 0
+        out = capsys.readouterr().out
+        assert "code blocks" in out
+        assert "FAIL" not in out
+
+    def test_checker_catches_broken_links(self, check_docs, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("see [missing](does-not-exist.md)\n")
+        failures: list[str] = []
+        assert check_docs.check_links(page, failures) == 1
+        assert failures and "does-not-exist.md" in failures[0]
+
+    def test_checker_catches_bad_imports(self, check_docs, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "```python\nfrom repro import DoesNotExistAnywhere\n```\n"
+        )
+        failures: list[str] = []
+        sys.path.insert(0, str(REPO / "src"))
+        try:
+            assert check_docs.check_code_blocks(page, failures) == 1
+        finally:
+            sys.path.remove(str(REPO / "src"))
+        assert failures and "imports failed" in failures[0]
+
+    def test_checker_catches_syntax_rot(self, check_docs, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("```python\ndef broken(:\n```\n")
+        failures: list[str] = []
+        check_docs.check_code_blocks(page, failures)
+        assert failures and "does not compile" in failures[0]
