@@ -32,7 +32,12 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 
 #: Documents the job guards.
-DOCUMENTS = ("README.md", "docs/ARCHITECTURE.md", "docs/API.md")
+DOCUMENTS = (
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/API.md",
+    "docs/SCHEDULING.md",
+)
 
 #: ```python … ``` fenced blocks.
 CODE_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)

@@ -83,12 +83,15 @@ from repro.pipeline import (
     Predictor,
     Registry,
     ServiceConfig,
+    admission_policy,
+    admission_policy_registry,
     gauger_registry,
     layered_config,
     placement_policy,
     planner_registry,
     policy_registry,
     predictor_registry,
+    register_admission_policy,
     register_gauger,
     register_planner,
     register_policy,
@@ -99,7 +102,7 @@ from repro.pipeline import (
     variant_registry,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Runtime-service names resolved lazily (PEP 562) — they pull in the
 #: GDA engine and scipy, which ``import repro`` alone should not pay
@@ -109,10 +112,12 @@ _LAZY_EXPORTS = {
     "JobScheduler": "repro.runtime.scheduler",
     "PipelineService": "repro.runtime.service",
     "SCENARIOS": "repro.runtime.scenarios",
+    "SLO": "repro.runtime.scheduling",
     "TelemetryStore": "repro.runtime.telemetry",
     "WANifyService": "repro.runtime.service",
     "register_scenario_model": "repro.runtime.scenarios",
     "scenario": "repro.runtime.scenarios",
+    "spread_slos": "repro.runtime.scheduling",
 }
 
 
@@ -135,10 +140,12 @@ __all__ = [
     "JobScheduler",
     "PipelineService",
     "SCENARIOS",
+    "SLO",
     "TelemetryStore",
     "WANifyService",
     "register_scenario_model",
     "scenario",
+    "spread_slos",
     "BandwidthMatrix",
     "CachedPredictor",
     "ConfigArguments",
@@ -167,6 +174,8 @@ __all__ = [
     "WANifyConfig",
     "WANifyDeployment",
     "WanPredictionModel",
+    "admission_policy",
+    "admission_policy_registry",
     "gauger_registry",
     "layered_config",
     "network_profile",
@@ -175,6 +184,7 @@ __all__ = [
     "planner_registry",
     "policy_registry",
     "predictor_registry",
+    "register_admission_policy",
     "register_gauger",
     "register_planner",
     "register_policy",

@@ -14,8 +14,10 @@ command        what it does
 ``serve``      run the multi-job runtime service under a bandwidth
                scenario (optionally comparing online vs static plans)
 ``sweep``      expand a ``[sweep]`` config section into a variants ×
-               scenarios × stage-choices matrix and write a JSON +
-               markdown comparison report
+               scenarios × stage-choices × schedulers matrix and write
+               a JSON + markdown comparison report (``--jobs N`` runs
+               cells on parallel workers; ``repeats`` adds mean ±
+               stdev columns)
 =============  =========================================================
 
 Every command is deterministic given ``--seed`` (the network weather is
@@ -54,6 +56,7 @@ from repro.pipeline.config import (
 from repro.pipeline.core import Pipeline
 from repro.pipeline.registry import (
     Registry,
+    admission_policy_registry,
     gauger_registry,
     planner_registry,
     policy_registry,
@@ -108,6 +111,7 @@ def _check_registered(config: object, out: IO[str]) -> bool:
         ("gauger", gauger_registry),
         ("predictor", predictor_registry),
         ("planner", planner_registry),
+        ("scheduler", admission_policy_registry),
     )
     for field_name, registry in checks:
         value = getattr(config, field_name, None)
@@ -275,8 +279,16 @@ def _render_service(svc, out: IO[str]) -> None:
         f"re-plans {summary.replans}\n"
         f"probe cost: {summary.probe_transfers} transfers, "
         f"{summary.probe_gb:.2f} GB, "
-        f"${summary.probe_cost_usd:.4f}\n"
+        f"${summary.probe_cost_usd:.4f} "
+        f"(re-plan share: ${summary.replan_cost_usd:.4f})\n"
     )
+    if summary.slo_attained or summary.slo_missed:
+        out.write(
+            f"SLO ({summary.scheduler}): "
+            f"{summary.slo_attained}/{summary.slo_attained + summary.slo_missed} "
+            f"deadlines met "
+            f"({summary.slo_attainment * 100.0:.0f}% attainment)\n"
+        )
 
 
 def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
@@ -343,8 +355,9 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
             seed=config.seed,
             scale_mb=args.scale_mb,
         )
-        for delay, job in mix:
-            service.submit_at(delay, job)
+        # submit_mix spreads heterogeneous SLO deadlines over the mix
+        # when --slo-deadline-s (or the config layers) set one.
+        service.submit_mix(mix)
         service.run(until=args.duration)
         service.stop()
         return service
@@ -402,6 +415,9 @@ def cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
     except (OSError, ValueError) as exc:  # SweepError is a ValueError
         out.write(f"bad sweep configuration: {exc}\n")
         return 2
+    if args.workers < 1:
+        out.write(f"--jobs must be ≥ 1 (got {args.workers})\n")
+        return 2
     cells = spec.cells
     swept = ", ".join(spec.swept) if spec.swept else "nothing (single cell)"
     out.write(
@@ -417,7 +433,7 @@ def cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
     def progress(index: int, total: int, label: str) -> None:
         out.write(f"  [{index + 1}/{total}] {label}\n")
 
-    result = run_sweep(spec, progress=progress)
+    result = run_sweep(spec, progress=progress, workers=args.workers)
     json_path, md_path = write_report(result, args.output)
     out.write("\n" + render_markdown(result))
     out.write(f"wrote {json_path} and {md_path}\n")
@@ -530,6 +546,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default="sweep-report",
         help="report directory (sweep.json + sweep.md are written there)",
+    )
+    p_sweep.add_argument(
+        "--jobs",
+        dest="workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel worker processes (cells are independent "
+        "simulations; the report order stays deterministic)",
     )
     p_sweep.add_argument(
         "--dry-run",

@@ -20,14 +20,20 @@ A sweep file is an ordinary layered-config file plus one table::
     variants  = ["wanify-tc", "single"]
     scenarios = ["step-drop", "diurnal+flash-crowd"]
     gaugers   = ["snapshot", "passive-telemetry"]
+    schedulers = ["fifo", "deadline-edf"]
     jobs = 2
     scale_mb = 600.0
+    repeats = 3          # per-cell seed range → mean ± stdev columns
 
 Every axis key maps to a :class:`~repro.pipeline.config.ServiceConfig`
 field and validates against the matching registry, so anything
 registered from user code sweeps the same way the built-ins do.  Cells
 that share training-relevant knobs share one trained predictor — an
 8-cell sweep trains once, not eight times.
+
+Cells are independent simulations; ``run_sweep(spec, workers=N)``
+(``wanify sweep --jobs N``) fans them out over a process pool with
+the report rows kept in deterministic matrix order.
 
 Entry points: :func:`run_sweep` in code, ``wanify sweep --config
 file.toml`` on the command line (``--dry-run`` prints the matrix
@@ -36,9 +42,11 @@ without running it).
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
 import itertools
 import json
+import statistics
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
@@ -50,6 +58,7 @@ from repro.pipeline.config import ServiceConfig, layered_config, load_config_fil
 from repro.pipeline.core import Pipeline
 from repro.pipeline.registry import (
     Registry,
+    admission_policy_registry,
     build_stage,
     gauger_registry,
     planner_registry,
@@ -69,6 +78,7 @@ AXES: tuple[tuple[str, str, Optional[Registry]], ...] = (
     ("predictors", "predictor", predictor_registry),
     ("planners", "planner", planner_registry),
     ("policies", "policy", policy_registry),
+    ("schedulers", "scheduler", admission_policy_registry),
 )
 
 #: Entry-point defaults for sweep runs (beneath files/env/overrides):
@@ -88,6 +98,9 @@ METRIC_COLUMNS: tuple[str, ...] = (
     "probe_transfers",
     "probe_gb",
     "probe_cost_usd",
+    "replan_cost_usd",
+    "slo_attainment",
+    "fairness",
 )
 
 
@@ -104,6 +117,21 @@ class SweepSpec:
     jobs: int = 3
     scale_mb: float = 1000.0
     duration: Optional[float] = None
+    #: Multiplier on the job mix's arrival gaps (< 1 compresses the
+    #: arrivals and builds queue pressure — the regime where admission
+    #: policies actually disagree).
+    arrival_scale: float = 1.0
+    #: Per-cell repetitions over a seed range (``repeats`` in
+    #: ``[sweep]``); metrics aggregate to mean ± stdev.
+    repeats: int = 1
+    #: Base seed for the repetition range (``seed`` in ``[sweep]``);
+    #: ``None`` uses the base config's seed.
+    seed: Optional[int] = None
+
+    def seed_for(self, repeat: int) -> int:
+        """The weather/campaign seed of repetition ``repeat``."""
+        base_seed = self.seed if self.seed is not None else self.base.seed
+        return base_seed + repeat
 
     @property
     def cells(self) -> list[dict[str, str]]:
@@ -192,7 +220,14 @@ def load_sweep(
                     f"(join with + to compose)"
                 )
 
-    known_keys = {key for key, _, _ in AXES} | {"jobs", "scale_mb", "duration"}
+    known_keys = {key for key, _, _ in AXES} | {
+        "jobs",
+        "scale_mb",
+        "duration",
+        "arrival_scale",
+        "repeats",
+        "seed",
+    }
     unknown = sorted(set(section) - known_keys)
     if unknown:
         raise SweepError(
@@ -205,6 +240,15 @@ def load_sweep(
     if scale_mb <= 0:
         raise SweepError(f"[sweep] scale_mb must be positive: {scale_mb}")
     duration = section.get("duration")
+    arrival_scale = float(section.get("arrival_scale", 1.0))
+    if arrival_scale <= 0:
+        raise SweepError(
+            f"[sweep] arrival_scale must be positive: {arrival_scale}"
+        )
+    repeats = int(section.get("repeats", 1))
+    if repeats < 1:
+        raise SweepError(f"[sweep] repeats must be ≥ 1: {repeats}")
+    seed = section.get("seed")
     return SweepSpec(
         base=base,
         axes=axes,
@@ -212,26 +256,43 @@ def load_sweep(
         jobs=jobs,
         scale_mb=scale_mb,
         duration=float(duration) if duration is not None else None,
+        arrival_scale=arrival_scale,
+        repeats=repeats,
+        seed=int(seed) if seed is not None else None,
     )
 
 
 @dataclass
 class CellResult:
-    """One matrix cell's configuration and measured outcome."""
+    """One matrix cell's configuration and measured outcome.
+
+    With ``repeats > 1`` the ``metrics`` are per-seed means and
+    ``metrics_std`` carries the matching sample standard deviations.
+    """
 
     cell: dict[str, str]
     label: str
     metrics: dict[str, float]
-    #: Cache statistics when the cell ran a caching predictor.
+    #: Sample stdev per metric (only populated when ``repeats > 1``).
+    metrics_std: dict[str, float] = field(default_factory=dict)
+    #: Seeds this cell actually ran (one per repetition).
+    seeds: tuple[int, ...] = ()
+    #: Cache statistics when the cell ran a caching predictor (first
+    #: repetition's run).
     cache_hits: Optional[int] = None
     cache_misses: Optional[int] = None
-    #: The backend a multi-backend planner settled on (last choice).
+    #: The backend a multi-backend planner settled on (last choice of
+    #: the first repetition).
     chosen_policy: Optional[str] = None
 
     def to_json(self) -> dict[str, Any]:
-        """JSON-ready flat representation."""
+        """JSON-ready flat representation (stdevs as ``<name>_std``)."""
         out: dict[str, Any] = {"label": self.label, **self.cell}
         out.update(self.metrics)
+        for name, value in self.metrics_std.items():
+            out[f"{name}_std"] = value
+        if len(self.seeds) > 1:
+            out["seeds"] = list(self.seeds)
         if self.cache_hits is not None:
             out["cache_hits"] = self.cache_hits
             out["cache_misses"] = self.cache_misses
@@ -256,6 +317,7 @@ class SweepResult:
             "jobs": self.spec.jobs,
             "scale_mb": self.spec.scale_mb,
             "duration": self.spec.duration,
+            "repeats": self.spec.repeats,
             "cells": [row.to_json() for row in self.rows],
         }
 
@@ -271,6 +333,28 @@ def _training_key(config: ServiceConfig) -> tuple:
         config.n_training_datasets,
         config.n_estimators,
     )
+
+
+def _train_forest(
+    config: ServiceConfig, trained: dict[tuple, ForestPredictor]
+) -> ForestPredictor:
+    """The trained forest for ``config``'s training key (cached).
+
+    The single source of how a cell's forest is built — the sequential
+    path (:func:`_cell_pipeline`) and the parallel pre-trainer
+    (:func:`_pretrain`) both call this, so ``--jobs N`` cannot drift
+    from a sequential run by training differently.
+    """
+    key = _training_key(config)
+    forest = trained.get(key)
+    if forest is None:
+        profile = network_profile(config.profile)
+        base_weather = profile.fluctuation(seed=config.seed)
+        topology = Topology.build(config.regions, config.vm, profile=profile)
+        forest = ForestPredictor(topology, base_weather, config)
+        forest.train(topology, base_weather, config)
+        trained[key] = forest
+    return forest
 
 
 def _cell_pipeline(
@@ -290,16 +374,10 @@ def _cell_pipeline(
 
     predictor = None
     if config.predictor in ("forest", "cached"):
-        key = _training_key(config)
-        forest = trained.get(key)
-        if forest is None:
-            forest = ForestPredictor(topology, base_weather, config)
-            forest.train(topology, base_weather, config)
-            trained[key] = forest
-        predictor = forest
+        predictor = _train_forest(config, trained)
         if config.predictor == "cached":
             predictor = CachedPredictor(
-                inner=forest,
+                inner=predictor,
                 ttl_s=config.cache_ttl_s,
                 drift_tolerance=config.cache_drift_tolerance,
             )
@@ -318,16 +396,15 @@ def _cell_pipeline(
     )
 
 
-def run_cell(
+def _run_once(
     spec: SweepSpec,
-    cell: Mapping[str, str],
-    trained: Optional[dict[tuple, ForestPredictor]] = None,
-) -> CellResult:
-    """Run one matrix cell end to end and collect its row."""
+    config: ServiceConfig,
+    trained: dict[tuple, ForestPredictor],
+):
+    """One service run for one cell/seed; returns the stopped service."""
     from repro.runtime.service import PipelineService, default_job_mix
 
-    config = dataclasses.replace(spec.base, **dict(cell))
-    pipeline = _cell_pipeline(config, trained if trained is not None else {})
+    pipeline = _cell_pipeline(config, trained)
     service = PipelineService.build(config, pipeline=pipeline)
     mix = default_job_mix(
         config.regions,
@@ -335,37 +412,136 @@ def run_cell(
         seed=config.seed,
         scale_mb=spec.scale_mb,
     )
-    for delay, job in mix:
-        service.submit_at(delay, job)
+    mix = [(delay * spec.arrival_scale, job) for delay, job in mix]
+    service.submit_mix(mix)
     service.run(until=spec.duration)
     service.stop()
-    summary = service.summary()
-    metrics = {name: summary.to_row()[name] for name in METRIC_COLUMNS}
-    predictor = service.pipeline.predictor
-    planner = service.pipeline.planner
+    return service
+
+
+def run_cell(
+    spec: SweepSpec,
+    cell: Mapping[str, str],
+    trained: Optional[dict[tuple, ForestPredictor]] = None,
+) -> CellResult:
+    """Run one matrix cell (all its repetitions) and collect its row."""
+    trained = trained if trained is not None else {}
+    seeds = tuple(spec.seed_for(r) for r in range(spec.repeats))
+    samples: list[dict[str, float]] = []
+    first = None
+    for seed in seeds:
+        config = dataclasses.replace(spec.base, **dict(cell), seed=seed)
+        service = _run_once(spec, config, trained)
+        if first is None:
+            first = service
+        row = service.summary().to_row()
+        samples.append({name: row[name] for name in METRIC_COLUMNS})
+    metrics = {
+        name: statistics.fmean(sample[name] for sample in samples)
+        for name in METRIC_COLUMNS
+    }
+    metrics_std = (
+        {
+            name: statistics.stdev([sample[name] for sample in samples])
+            for name in METRIC_COLUMNS
+        }
+        if len(samples) > 1
+        else {}
+    )
+    predictor = first.pipeline.predictor
+    planner = first.pipeline.planner
     return CellResult(
         cell=dict(cell),
         label=spec.label(cell),
         metrics=metrics,
+        metrics_std=metrics_std,
+        seeds=seeds,
         cache_hits=getattr(predictor, "hits", None),
         cache_misses=getattr(predictor, "misses", None),
         chosen_policy=getattr(planner, "chosen_policy", None),
     )
 
 
-def run_sweep(spec: SweepSpec, progress=None) -> SweepResult:
-    """Run every cell of the matrix (deterministic, sequential).
+def _pretrain(spec: SweepSpec) -> dict[tuple, ForestPredictor]:
+    """Train every forest the matrix will need, once, in the parent.
+
+    Parallel workers cannot share a lazily-filled cache (each process
+    would train its own copy), so the parallel path trains all
+    distinct training keys up front and ships the finished predictors
+    to the workers.
+    """
+    trained: dict[tuple, ForestPredictor] = {}
+    for cell in spec.cells:
+        for repeat in range(spec.repeats):
+            config = dataclasses.replace(
+                spec.base, **dict(cell), seed=spec.seed_for(repeat)
+            )
+            if config.predictor in ("forest", "cached"):
+                _train_forest(config, trained)
+    return trained
+
+
+#: Per-worker trained-forest cache, installed by the pool initializer
+#: so it is pickled once per worker instead of once per cell.
+_WORKER_TRAINED: dict[tuple, ForestPredictor] = {}
+
+
+def _init_worker(trained: dict[tuple, ForestPredictor]) -> None:
+    global _WORKER_TRAINED
+    _WORKER_TRAINED = trained
+
+
+def _run_cell_in_worker(spec: SweepSpec, cell: dict[str, str]) -> CellResult:
+    return run_cell(spec, cell, _WORKER_TRAINED)
+
+
+def run_sweep(spec: SweepSpec, progress=None, workers: int = 1) -> SweepResult:
+    """Run every cell of the matrix.
+
+    Cells are independent simulations, so ``workers > 1`` fans them
+    out over a :class:`concurrent.futures.ProcessPoolExecutor`
+    (``wanify sweep --jobs N``).  The report is identical either way:
+    rows always appear in matrix order, and each cell's simulation is
+    a pure function of its config, so parallel and sequential runs
+    produce the same numbers.
 
     ``progress`` is an optional ``callable(index, total, label)`` the
     CLI uses for per-cell status lines.
     """
+    if workers < 1:
+        raise SweepError(f"workers must be ≥ 1: {workers}")
     result = SweepResult(spec)
-    trained: dict[tuple, ForestPredictor] = {}
     cells = spec.cells
-    for index, cell in enumerate(cells):
+    if workers == 1:
+        trained: dict[tuple, ForestPredictor] = {}
+        for index, cell in enumerate(cells):
+            if progress is not None:
+                progress(index, len(cells), spec.label(cell))
+            result.rows.append(run_cell(spec, cell, trained))
+        return result
+    trained = _pretrain(spec)
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(workers, len(cells)) or 1,
+        initializer=_init_worker,
+        initargs=(trained,),
+    ) as pool:
+        futures = [
+            pool.submit(_run_cell_in_worker, spec, cell) for cell in cells
+        ]
         if progress is not None:
-            progress(index, len(cells), spec.label(cell))
-        result.rows.append(run_cell(spec, cell, trained))
+            # Report cells as they *finish* (real progress, possibly
+            # out of matrix order), not as they are submitted.
+            labels = {
+                future: spec.label(cell)
+                for future, cell in zip(futures, cells)
+            }
+            for done, future in enumerate(
+                concurrent.futures.as_completed(futures)
+            ):
+                progress(done, len(cells), labels[future])
+        # Collection in submission order keeps the report deterministic
+        # regardless of which worker finishes first.
+        result.rows.extend(future.result() for future in futures)
     return result
 
 
@@ -376,12 +552,19 @@ def run_sweep(spec: SweepSpec, progress=None) -> SweepResult:
 
 def _format_value(value: Any) -> str:
     if isinstance(value, float):
+        if value != 0.0 and abs(value) < 0.01:
+            # Probe dollars are fractions of a cent — don't render a
+            # nonzero charge as "0.00".
+            return f"{value:.4f}"
         return f"{value:.2f}" if abs(value) < 1000 else f"{value:.0f}"
     return str(value)
 
 
 def render_markdown(result: SweepResult) -> str:
-    """The comparison table as GitHub-flavored markdown."""
+    """The comparison table as GitHub-flavored markdown.
+
+    With ``repeats > 1`` every metric cell reads ``mean ±stdev``.
+    """
     spec = result.spec
     axis_columns = list(spec.swept) or ["variant"]
     extra: list[str] = []
@@ -390,18 +573,29 @@ def render_markdown(result: SweepResult) -> str:
     if any(row.chosen_policy is not None for row in result.rows):
         extra.append("chosen_policy")
     header = axis_columns + list(METRIC_COLUMNS) + extra
+    seeds = (
+        f"seeds: {spec.seed_for(0)}–{spec.seed_for(spec.repeats - 1)} "
+        f"({spec.repeats} repeats per cell)"
+        if spec.repeats > 1
+        else f"seed: {spec.base.seed}"
+    )
     lines = [
         f"# Sweep report ({spec.shape} matrix, {len(result.rows)} cells)",
         "",
         f"jobs per cell: {spec.jobs}, scale: {spec.scale_mb:.0f} MB, "
-        f"seed: {spec.base.seed}",
+        f"{seeds}",
         "",
         "| " + " | ".join(header) + " |",
         "|" + "|".join("---" for _ in header) + "|",
     ]
     for row in result.rows:
         flat = row.to_json()
-        cells = [_format_value(flat.get(col, "")) for col in header]
+        cells = []
+        for col in header:
+            rendered = _format_value(flat.get(col, ""))
+            if col in row.metrics_std:
+                rendered += f" ±{_format_value(row.metrics_std[col])}"
+            cells.append(rendered)
         lines.append("| " + " | ".join(cells) + " |")
     lines.append("")
     return "\n".join(lines)

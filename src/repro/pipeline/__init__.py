@@ -14,9 +14,10 @@ behind one object:
 * :mod:`repro.pipeline.core` — :class:`Pipeline`, the one-shot facade
   the runtime service is also rebuilt on;
 * :mod:`repro.pipeline.registry` — string-keyed registries for the
-  three stages, deployment variants, placement policies, and bandwidth
-  scenarios, with ``@register_*`` decorators that make extensions
-  reachable from every entry point with zero core edits;
+  three stages, deployment variants, placement policies, bandwidth
+  scenarios, and scheduler admission policies, with ``@register_*``
+  decorators that make extensions reachable from every entry point
+  with zero core edits;
 * :mod:`repro.pipeline.config` — the layered configuration system
   (dataclass defaults → TOML/JSON file → ``WANIFY_*`` env → explicit
   CLI flags/kwargs) shared by the facade, the service, and the CLI;
@@ -44,12 +45,15 @@ from repro.pipeline.core import Pipeline
 from repro.pipeline.deploy import Deployment, WANifyDeployment
 from repro.pipeline.registry import (
     Registry,
+    admission_policy,
+    admission_policy_registry,
     build_stage,
     gauger_registry,
     placement_policy,
     planner_registry,
     policy_registry,
     predictor_registry,
+    register_admission_policy,
     register_gauger,
     register_planner,
     register_policy,
@@ -93,6 +97,8 @@ __all__ = [
     "VariantStrategy",
     "WANifyDeployment",
     "WindowPlanner",
+    "admission_policy",
+    "admission_policy_registry",
     "build_stage",
     "env_overrides",
     "gauger_registry",
@@ -102,6 +108,7 @@ __all__ = [
     "planner_registry",
     "policy_registry",
     "predictor_registry",
+    "register_admission_policy",
     "register_gauger",
     "register_planner",
     "register_policy",

@@ -108,6 +108,24 @@ class ServiceConfig(PipelineConfig):
     online: bool = config_field(True, help="enable online re-planning", cli=False)
     throttling: bool = config_field(True, help="throttle BW-rich pairs")
     max_concurrent: int = config_field(3, help="concurrent jobs admitted")
+    #: Admission policy — names an entry in
+    #: ``repro.pipeline.registry.admission_policy_registry`` (``fifo``,
+    #: ``priority``, ``deadline-edf``, ``fair-share``, or anything
+    #: registered from user code).
+    scheduler: str = config_field("fifo", help="admission policy (registered name)")
+    #: Default per-job SLO deadline, seconds from submission.  Unset
+    #: means jobs carry no deadline (and SLO attainment reads 100%).
+    slo_deadline_s: Optional[float] = config_field(
+        None, help="per-job SLO deadline (s from submission; unset = none)"
+    )
+    #: Submissions between admission-queue re-orderings — the batched
+    #: reallocation knob (1 = exact policy order on every admission).
+    admit_batch: int = config_field(16, help="submissions between admission re-orderings")
+    #: Probe-dollar budget for drift-triggered re-plans; once the
+    #: charged re-gauge cost reaches it, further re-plans are skipped.
+    replan_budget_usd: Optional[float] = config_field(
+        None, help="probe-dollar budget for re-plans (unlimited when unset)"
+    )
     epoch_s: float = config_field(EPOCH_S, help="AIMD agent epoch (s)")
     check_interval_s: float = config_field(30.0, help="drift check period (s)")
     #: Mirrors ``repro.runtime.drift.DEFAULT_THRESHOLD`` — duplicated

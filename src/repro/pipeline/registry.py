@@ -183,12 +183,21 @@ policy_registry = Registry("placement policy", bootstrap="repro.gda.systems")
 #: :func:`repro.runtime.scenarios.register_scenario_model`).
 scenario_registry = Registry("scenario", bootstrap="repro.runtime.scenarios")
 
+#: Scheduler admission policies — entries are
+#: :class:`~repro.runtime.scheduling.policies.AdmissionPolicy` classes
+#: or instances (``fifo`` / ``priority`` / ``deadline-edf`` /
+#: ``fair-share`` built in).
+admission_policy_registry = Registry(
+    "admission policy", bootstrap="repro.runtime.scheduling.policies"
+)
+
 register_gauger = gauger_registry.register
 register_predictor = predictor_registry.register
 register_planner = planner_registry.register
 register_variant = variant_registry.register
 register_policy = policy_registry.register
 register_scenario = scenario_registry.register
+register_admission_policy = admission_policy_registry.register
 
 
 def build_stage(registry: Registry, name: str, **context: object) -> object:
@@ -229,3 +238,17 @@ def placement_policy(policy: object) -> object:
     if isinstance(policy, type):
         policy = policy()
     return policy
+
+
+def admission_policy(spec: object) -> object:
+    """Resolve an admission-policy spec — instance, class, or name.
+
+    The scheduler accepts all three spellings, mirroring
+    :func:`placement_policy`; strings resolve through
+    :data:`admission_policy_registry`, classes are instantiated.
+    """
+    if isinstance(spec, str):
+        spec = admission_policy_registry.get(spec)
+    if isinstance(spec, type):
+        spec = spec()
+    return spec

@@ -15,7 +15,13 @@ service on the deterministic :mod:`repro.sim` kernel:
   re-gauge/re-plan events when the error exceeds a threshold;
 * :mod:`repro.runtime.scheduler` — :class:`JobScheduler`, an admission
   queue running multiple concurrent GDA jobs over the shared WAN
-  substrate, with per-job completion and fairness statistics;
+  substrate, with per-job completion, SLO-attainment, and fairness
+  statistics;
+* :mod:`repro.runtime.scheduling` — the pluggable scheduling layer:
+  registered admission policies (``fifo`` / ``priority`` /
+  ``deadline-edf`` / ``fair-share``), per-job :class:`SLO` promises,
+  and the :class:`BatchedReallocator` that amortizes queue
+  re-ordering over submission batches;
 * :mod:`repro.runtime.executor` — the event-driven (non-blocking) job
   runner the scheduler uses to interleave jobs on one simulator;
 * :mod:`repro.runtime.scenarios` — named bandwidth-dynamics scenarios
@@ -52,7 +58,14 @@ from repro.runtime.scenarios import (
     scenario,
     scenario_names,
 )
-from repro.runtime.scheduler import JobScheduler, JobTicket
+from repro.runtime.scheduler import JobScheduler, JobTicket, jain_index
+from repro.runtime.scheduling import (
+    SLO,
+    AdmissionPolicy,
+    BatchedReallocator,
+    SchedulerView,
+    spread_slos,
+)
 from repro.runtime.service import (
     PipelineService,
     ServiceConfig,
@@ -63,6 +76,8 @@ from repro.runtime.service import (
 from repro.runtime.telemetry import LinkEstimate, LinkSeries, TelemetryStore
 
 __all__ = [
+    "AdmissionPolicy",
+    "BatchedReallocator",
     "ComposedScenario",
     "DiurnalSwing",
     "DriftDetector",
@@ -71,6 +86,8 @@ __all__ = [
     "JobScheduler",
     "JobTicket",
     "LinkDegradation",
+    "SLO",
+    "SchedulerView",
     "LinkEstimate",
     "LinkSeries",
     "PipelineService",
@@ -83,7 +100,9 @@ __all__ = [
     "TelemetryStore",
     "WANifyService",
     "default_job_mix",
+    "jain_index",
     "register_scenario_model",
     "scenario",
     "scenario_names",
+    "spread_slos",
 ]

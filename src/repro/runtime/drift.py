@@ -22,6 +22,7 @@ The detector is deliberately conservative:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.net.matrix import BandwidthMatrix
@@ -46,7 +47,14 @@ DEFAULT_FRESHNESS_S = 60.0
 
 @dataclass(frozen=True)
 class ReplanEvent:
-    """One fired drift event: the worst offending link and its error."""
+    """One fired drift event: the worst offending link and its error.
+
+    Acting on an event is not free — the service re-gauges before it
+    re-plans, and an active gauger launches real probe flows.  The
+    service charges that cost back onto the event (via :meth:`charged`,
+    from the gauger's :class:`~repro.pipeline.stages.GaugeLedger`
+    delta), so every recorded re-plan carries what it cost to make.
+    """
 
     time: float
     src: str
@@ -54,15 +62,39 @@ class ReplanEvent:
     observed_mbps: float
     predicted_mbps: float
     rel_error: float
+    #: Probe flows the re-gauge launched (0 until charged, and for
+    #: passive gaugers always).
+    probe_transfers: int = 0
+    #: Probe traffic (GB) the re-gauge moved.
+    probe_gb: float = 0.0
+    #: Probe dollars the re-gauge cost (Eq. 1-style accounting).
+    probe_cost_usd: float = 0.0
+
+    def charged(
+        self, transfers: int, gigabytes: float, dollars: float
+    ) -> "ReplanEvent":
+        """A copy of this event carrying its re-gauge probe cost."""
+        return dataclasses.replace(
+            self,
+            probe_transfers=transfers,
+            probe_gb=gigabytes,
+            probe_cost_usd=dollars,
+        )
 
     def describe(self) -> str:
         """One-line human-readable summary."""
-        return (
+        line = (
             f"t={self.time:.0f}s {self.src}→{self.dst}: "
             f"observed {self.observed_mbps:.0f} vs predicted "
             f"{self.predicted_mbps:.0f} Mbps "
             f"({self.rel_error * 100.0:.0f}% drift)"
         )
+        if self.probe_transfers or self.probe_cost_usd:
+            line += (
+                f" [re-gauge: {self.probe_transfers} probes, "
+                f"${self.probe_cost_usd:.4f}]"
+            )
+        return line
 
 
 @dataclass

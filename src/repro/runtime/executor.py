@@ -82,6 +82,15 @@ class JobRun:
         """Whether the job has produced its result."""
         return self.result is not None
 
+    @property
+    def wan_mb(self) -> float:
+        """WAN volume (MB) this run's transfers have carried so far.
+
+        Live during execution — the fair-share admission policy reads
+        it to count in-flight service, not just completed jobs.
+        """
+        return self.wan_mbits / 8.0
+
     def decision_bw(self) -> Optional[BandwidthMatrix]:
         """The policy's current belief about the network."""
         if callable(self._decision_bw):

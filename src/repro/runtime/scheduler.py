@@ -1,7 +1,7 @@
 """Multi-job admission and execution over the shared WAN substrate.
 
-The scheduler keeps a FIFO admission queue and at most
-``max_concurrent`` jobs in flight; each admitted job becomes a
+The scheduler keeps an admission queue and at most ``max_concurrent``
+jobs in flight; each admitted job becomes a
 :class:`~repro.runtime.executor.JobRun` interleaving with every other
 run on the cluster's single simulator.  Because all jobs shuffle over
 the same :class:`~repro.net.simulator.NetworkSimulator`, they contend
@@ -9,10 +9,21 @@ for WAN capacity exactly like co-located production queries — which is
 the point: WANify's plan (and re-plans) apply to the substrate all of
 them share.
 
+*Which* queued job gets a freed slot is no longer hardwired: admission
+order comes from a registered
+:class:`~repro.runtime.scheduling.policies.AdmissionPolicy`
+(``fifo`` by default — the legacy behavior — plus ``priority``,
+``deadline-edf``, and ``fair-share``), amortized over submission
+batches by the
+:class:`~repro.runtime.scheduling.reallocator.BatchedReallocator` so
+hundreds of queued jobs do not trigger quadratic re-ordering churn.
+Per-job promises ride along as
+:class:`~repro.runtime.scheduling.slo.SLO` objects on each ticket.
+
 Per-job bookkeeping lives in :class:`JobTicket`; aggregate statistics
-(throughput in jobs per simulated hour, mean wait/JCT, and a Jain
-fairness index over per-job achieved WAN throughput) come from
-:meth:`JobScheduler.stats`.
+(throughput in jobs per simulated hour, mean wait/JCT, SLO attainment,
+and a Jain fairness index over per-job achieved WAN throughput) come
+from :meth:`JobScheduler.stats`.
 """
 
 from __future__ import annotations
@@ -25,12 +36,26 @@ from repro.gda.engine.cluster import GeoCluster
 from repro.gda.engine.dag import JobSpec
 from repro.gda.engine.engine import SHUFFLE_OVERHEAD, JobResult
 from repro.gda.systems.base import PlacementPolicy
-from repro.pipeline.registry import placement_policy
+from repro.pipeline.registry import admission_policy, placement_policy
 from repro.runtime.executor import DecisionBw, JobRun
+from repro.runtime.scheduling.policies import AdmissionPolicy, SchedulerView
+from repro.runtime.scheduling.reallocator import DEFAULT_BATCH, BatchedReallocator
+from repro.runtime.scheduling.slo import SLO, attainment, jain_index
+
+__all__ = [
+    "AdmissionSpec",
+    "JobScheduler",
+    "JobTicket",
+    "PolicySpec",
+    "jain_index",
+]
 
 #: A policy spec: an instance, a registered name, a class, or ``None``
 #: for the scheduler's default.
 PolicySpec = PlacementPolicy | str | type | None
+
+#: An admission-policy spec: an instance, a registered name, or a class.
+AdmissionSpec = AdmissionPolicy | str | type
 
 
 @dataclass
@@ -44,6 +69,11 @@ class JobTicket:
     finished_s: Optional[float] = None
     run: Optional[JobRun] = None
     result: Optional[JobResult] = None
+    #: The promises this submission carries (``None`` = best effort).
+    slo: Optional[SLO] = None
+    #: Submission sequence number — the admission policies' final
+    #: tie-breaker, so equal-key tickets stay in arrival order.
+    seq: int = 0
 
     @property
     def state(self) -> str:
@@ -68,23 +98,16 @@ class JobTicket:
             return 0.0
         return self.finished_s - self.submitted_s
 
-
-def jain_index(values: list[float]) -> float:
-    """Jain's fairness index: 1 = perfectly even, → 1/n = one hog.
-
-    >>> round(jain_index([10.0, 10.0, 10.0]), 3)
-    1.0
-    """
-    positives = [v for v in values if v > 0]
-    if not positives:
-        return 1.0
-    total = sum(positives)
-    squares = sum(v * v for v in positives)
-    return total * total / (len(positives) * squares)
+    @property
+    def deadline_s(self) -> Optional[float]:
+        """Absolute completion deadline (``None`` without one)."""
+        if self.slo is None:
+            return None
+        return self.slo.deadline_at(self.submitted_s)
 
 
 class JobScheduler:
-    """FIFO admission queue + bounded concurrency over one cluster."""
+    """Policy-driven admission queue + bounded concurrency over one cluster."""
 
     def __init__(
         self,
@@ -93,6 +116,9 @@ class JobScheduler:
         decision_bw: DecisionBw = None,
         shuffle_overhead: float = SHUFFLE_OVERHEAD,
         default_policy: PolicySpec = "tetrium",
+        admission: AdmissionSpec = "fifo",
+        default_slo: Optional[SLO] = None,
+        admit_batch: int = DEFAULT_BATCH,
     ) -> None:
         if max_concurrent < 1:
             raise ValueError(
@@ -103,6 +129,11 @@ class JobScheduler:
         self.decision_bw = decision_bw
         self.shuffle_overhead = shuffle_overhead
         self.default_policy = default_policy
+        #: Resolved admission policy (registered name / class / instance).
+        self.admission: AdmissionPolicy = admission_policy(admission)
+        #: SLO applied to submissions that do not carry their own.
+        self.default_slo = default_slo
+        self.reallocator = BatchedReallocator(self.admission, batch=admit_batch)
         self.queued: deque[JobTicket] = deque()
         self.running: list[JobTicket] = []
         self.completed: list[JobTicket] = []
@@ -110,42 +141,71 @@ class JobScheduler:
         #: Most jobs ever in flight at once (for concurrency assertions).
         self.peak_concurrency = 0
         self._first_submit: Optional[float] = None
+        self._seq = 0
 
     @property
     def sim(self):
         """The shared simulator all jobs run on."""
         return self.cluster.network.sim
 
+    def view(self) -> SchedulerView:
+        """The read-only state snapshot admission policies consume."""
+        return SchedulerView(
+            now=self.sim.now,
+            running=tuple(self.running),
+            completed=tuple(self.completed),
+        )
+
     # -- submission -----------------------------------------------------
 
     def submit(
-        self, job: JobSpec, policy: PolicySpec = None
+        self,
+        job: JobSpec,
+        policy: PolicySpec = None,
+        slo: Optional[SLO] = None,
     ) -> JobTicket:
-        """Queue a job now; it starts as soon as a slot frees up.
+        """Queue a job now; the admission policy decides when it starts.
 
         ``policy`` may be a :class:`PlacementPolicy` instance, a
         registered name (``"kimchi"``), a policy class, or ``None``
-        for the scheduler's ``default_policy``.
+        for the scheduler's ``default_policy``.  ``slo`` attaches the
+        job's promises (deadline / priority / fair-share weight);
+        ``None`` falls back to the scheduler's ``default_slo``.
         """
         resolved = placement_policy(
             policy if policy is not None else self.default_policy
         )
-        ticket = JobTicket(job, resolved, submitted_s=self.sim.now)
+        ticket = JobTicket(
+            job,
+            resolved,
+            submitted_s=self.sim.now,
+            slo=slo if slo is not None else self.default_slo,
+            seq=self._seq,
+        )
+        self._seq += 1
         if self._first_submit is None:
             self._first_submit = self.sim.now
         self.queued.append(ticket)
+        self.reallocator.note_submit()
         self._admit()
         return ticket
 
     def submit_at(
-        self, delay_s: float, job: JobSpec, policy: PolicySpec = None
+        self,
+        delay_s: float,
+        job: JobSpec,
+        policy: PolicySpec = None,
+        slo: Optional[SLO] = None,
     ) -> None:
         """Schedule a submission ``delay_s`` seconds from now."""
-        self.sim.schedule(delay_s, lambda: self.submit(job, policy))
+        self.sim.schedule(delay_s, lambda: self.submit(job, policy, slo))
 
     def _admit(self) -> None:
         while self.queued and len(self.running) < self.max_concurrent:
-            ticket = self.queued.popleft()
+            # ``self.view`` is passed as a factory: the state snapshot
+            # is only taken when the reallocator actually re-orders.
+            ticket = self.reallocator.pop(self.queued, self.view)
+            self.queued.remove(ticket)
             ticket.started_s = self.sim.now
             self.running.append(ticket)
             self.peak_concurrency = max(
@@ -166,31 +226,48 @@ class JobScheduler:
         ticket.finished_s = self.sim.now
         self.running.remove(ticket)
         self.completed.append(ticket)
+        self.reallocator.note_finish()
         if self.on_job_finished is not None:
             self.on_job_finished(ticket)
         self._admit()
 
     # -- statistics -----------------------------------------------------
 
+    #: Every key :meth:`stats` reports, with its before-anything-
+    #: finished value.  Kept explicit (and returned wholesale in the
+    #: empty case) so a stats call mid-run — jobs queued or running,
+    #: none finished — can never divide by a zero completion count.
+    ZERO_STATS: dict[str, float] = {
+        "completed": 0.0,
+        "mean_wait_s": 0.0,
+        "mean_jct_s": 0.0,
+        "total_jct_s": 0.0,
+        "makespan_s": 0.0,
+        "jobs_per_hour": 0.0,
+        "fairness": 1.0,
+        "slo_attained": 0.0,
+        "slo_missed": 0.0,
+        "slo_attainment": 1.0,
+    }
+
     def stats(self) -> dict[str, float]:
-        """Aggregate completion statistics for the run so far."""
+        """Aggregate completion statistics for the run so far.
+
+        Safe at any point in a run: before the first completion (even
+        with jobs queued or running) every metric is its zero value and
+        nothing divides by the empty completion count.
+        """
         done = self.completed
         if not done or self._first_submit is None:
-            return {
-                "completed": 0.0,
-                "mean_wait_s": 0.0,
-                "mean_jct_s": 0.0,
-                "total_jct_s": 0.0,
-                "makespan_s": 0.0,
-                "jobs_per_hour": 0.0,
-                "fairness": 1.0,
-            }
+            return dict(self.ZERO_STATS)
         makespan = max(t.finished_s for t in done) - self._first_submit
         throughputs = [
             t.result.wan_gb * 8.0 * 1024.0 / t.result.network_s
             for t in done
             if t.result is not None and t.result.network_s > 0
         ]
+        attained, missed = attainment(done)
+        with_deadline = attained + missed
         return {
             "completed": float(len(done)),
             "mean_wait_s": sum(t.wait_s for t in done) / len(done),
@@ -201,4 +278,11 @@ class JobScheduler:
                 len(done) / (makespan / 3600.0) if makespan > 0 else 0.0
             ),
             "fairness": jain_index(throughputs),
+            "slo_attained": float(attained),
+            "slo_missed": float(missed),
+            # Deadline-free runs report perfect attainment — nothing
+            # was promised, so nothing was broken.
+            "slo_attainment": (
+                attained / with_deadline if with_deadline > 0 else 1.0
+            ),
         }

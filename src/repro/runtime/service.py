@@ -50,6 +50,7 @@ from repro.pipeline.deploy import Deployment
 from repro.runtime.drift import DriftDetector, ReplanEvent
 from repro.runtime.scenarios import scenario
 from repro.runtime.scheduler import JobScheduler, JobTicket, PolicySpec
+from repro.runtime.scheduling import SLO, spread_slos
 from repro.runtime.telemetry import TelemetryStore
 from repro.sim.kernel import Process
 from repro.core.agent import LocalAgent
@@ -83,6 +84,20 @@ class ServiceSummary:
     probe_transfers: int = 0
     probe_gb: float = 0.0
     probe_cost_usd: float = 0.0
+    #: The admission policy the scheduler ran under.
+    scheduler: str = "fifo"
+    #: Deadline accounting: jobs that finished within / past their SLO
+    #: deadline (jobs without a deadline count in neither).
+    slo_attained: int = 0
+    slo_missed: int = 0
+    #: ``attained / (attained + missed)`` — 1.0 when nothing promised
+    #: a deadline.
+    slo_attainment: float = 1.0
+    #: The slice of probe cost charged to drift-triggered re-gauges —
+    #: re-planning is no longer free, and this is its bill.
+    replan_probe_transfers: int = 0
+    replan_probe_gb: float = 0.0
+    replan_cost_usd: float = 0.0
     events: list[ReplanEvent] = field(default_factory=list)
 
     def to_row(self) -> dict[str, float]:
@@ -99,6 +114,12 @@ class ServiceSummary:
             "probe_transfers": float(self.probe_transfers),
             "probe_gb": self.probe_gb,
             "probe_cost_usd": self.probe_cost_usd,
+            "slo_attained": float(self.slo_attained),
+            "slo_missed": float(self.slo_missed),
+            "slo_attainment": self.slo_attainment,
+            "replan_probe_transfers": float(self.replan_probe_transfers),
+            "replan_probe_gb": self.replan_probe_gb,
+            "replan_cost_usd": self.replan_cost_usd,
         }
 
 
@@ -133,6 +154,13 @@ class PipelineService:
             max_concurrent=self.config.max_concurrent,
             decision_bw=lambda: self.predicted,
             default_policy=self.config.policy,
+            admission=self.config.scheduler,
+            default_slo=(
+                SLO(deadline_s=self.config.slo_deadline_s)
+                if self.config.slo_deadline_s is not None
+                else None
+            ),
+            admit_batch=self.config.admit_batch,
         )
         self.predicted: Optional[BandwidthMatrix] = None
         self.deployment: Optional[Deployment] = None
@@ -278,12 +306,22 @@ class PipelineService:
         if self.deployment is not None:
             self.deployment.teardown(self.network)
 
+    @property
+    def replan_spent_usd(self) -> float:
+        """Probe dollars charged to re-plans so far."""
+        return sum(event.probe_cost_usd for event in self.replans)
+
     def _check(self, now: float) -> None:
         if self.detector is None:
             return
         if (
             self.config.max_replans is not None
             and len(self.replans) >= self.config.max_replans
+        ):
+            return
+        if (
+            self.config.replan_budget_usd is not None
+            and self.replan_spent_usd >= self.config.replan_budget_usd
         ):
             return
         event = self.detector.check(now)
@@ -296,13 +334,30 @@ class PipelineService:
         Running jobs keep their in-flight transfers; their *next*
         placement decisions read the refreshed matrix through the
         scheduler's ``decision_bw`` callable.
+
+        Re-gauging is charged: the gauger's
+        :class:`~repro.pipeline.stages.GaugeLedger` delta across the
+        re-gauge (probe flows, GB, dollars) is attached to the recorded
+        event, and counts against ``replan_budget_usd``.
         """
         self._teardown()
+        gauger = self.pipeline.gauger
+        before = (
+            int(getattr(gauger, "probe_transfers", 0)),
+            float(getattr(gauger, "probe_gb", 0.0)),
+            float(getattr(gauger, "probe_cost_usd", 0.0)),
+        )
         self.predicted = self._gauge()
         self._install(self.predicted)
         if self.detector is not None:
             self.detector.rebase(self.predicted, self.sim.now)
-        self.replans.append(event)
+        self.replans.append(
+            event.charged(
+                transfers=int(getattr(gauger, "probe_transfers", 0)) - before[0],
+                gigabytes=float(getattr(gauger, "probe_gb", 0.0)) - before[1],
+                dollars=float(getattr(gauger, "probe_cost_usd", 0.0)) - before[2],
+            )
+        )
 
     def stop(self) -> None:
         """Stop agents and the watcher (queued jobs stay queued)."""
@@ -314,24 +369,52 @@ class PipelineService:
     # -- job interface --------------------------------------------------
 
     def submit(
-        self, job: JobSpec, policy: PolicySpec = None
+        self,
+        job: JobSpec,
+        policy: PolicySpec = None,
+        slo: Optional[SLO] = None,
     ) -> JobTicket:
         """Queue a job under ``policy`` (the config's default when unset).
 
         ``policy`` may be an instance, a registered name, or a class —
         anything :func:`repro.pipeline.registry.placement_policy`
-        resolves.
+        resolves.  ``slo`` attaches per-job promises; when unset, the
+        config's ``slo_deadline_s`` (if any) applies through the
+        scheduler's default SLO.
         """
-        return self.scheduler.submit(job, policy)
+        return self.scheduler.submit(job, policy, slo=slo)
 
     def submit_at(
         self,
         delay_s: float,
         job: JobSpec,
         policy: PolicySpec = None,
+        slo: Optional[SLO] = None,
     ) -> None:
         """Queue a job ``delay_s`` simulated seconds from now."""
-        self.scheduler.submit_at(delay_s, job, policy)
+        self.scheduler.submit_at(delay_s, job, policy, slo=slo)
+
+    def submit_mix(
+        self, mix: list[tuple[float, JobSpec]], spread_deadlines: bool = True
+    ) -> None:
+        """Submit a ``(delay, job)`` mix, attaching SLOs when configured.
+
+        With ``slo_deadline_s`` set and ``spread_deadlines`` on, the
+        deadlines are heterogeneous (seeded spread around the
+        configured value, via
+        :func:`~repro.runtime.scheduling.slo.spread_slos`) — a uniform
+        deadline would make earliest-deadline-first indistinguishable
+        from FIFO.  The CLI's ``serve`` and the sweep runner submit
+        through this.
+        """
+        if self.config.slo_deadline_s is not None and spread_deadlines:
+            for delay, job, slo in spread_slos(
+                mix, self.config.slo_deadline_s, seed=self.config.seed
+            ):
+                self.submit_at(delay, job, slo=slo)
+        else:
+            for delay, job in mix:
+                self.submit_at(delay, job)
 
     def run(self, until: Optional[float] = None) -> None:
         """Drive the shared simulator (open-ended: until jobs drain)."""
@@ -356,6 +439,15 @@ class PipelineService:
             probe_transfers=int(getattr(gauger, "probe_transfers", 0)),
             probe_gb=float(getattr(gauger, "probe_gb", 0.0)),
             probe_cost_usd=float(getattr(gauger, "probe_cost_usd", 0.0)),
+            scheduler=self.scheduler.admission.name,
+            slo_attained=int(stats["slo_attained"]),
+            slo_missed=int(stats["slo_missed"]),
+            slo_attainment=stats["slo_attainment"],
+            replan_probe_transfers=sum(
+                event.probe_transfers for event in self.replans
+            ),
+            replan_probe_gb=sum(event.probe_gb for event in self.replans),
+            replan_cost_usd=self.replan_spent_usd,
             events=list(self.replans),
         )
 

@@ -111,6 +111,70 @@ gaugers = ["snapshot", "passive-telemetry"]
         assert spec.shape == "2×2×2"
         assert len(spec.cells) == 8
 
+    def test_schedulers_axis_expands_and_validates(self, tmp_path):
+        path = write_toml(
+            tmp_path,
+            FAST_BASE
+            + '\n[sweep]\nschedulers = ["fifo", "deadline-edf", "fair-share"]\n',
+        )
+        spec = load_sweep(path)
+        assert len(spec.cells) == 3
+        assert spec.swept == ("scheduler",)
+        assert {c["scheduler"] for c in spec.cells} == {
+            "fifo",
+            "deadline-edf",
+            "fair-share",
+        }
+
+    def test_unknown_scheduler_fails_with_known_names(self, tmp_path):
+        path = write_toml(
+            tmp_path, FAST_BASE + '\n[sweep]\nschedulers = ["lifo"]\n'
+        )
+        with pytest.raises(SweepError, match="deadline-edf"):
+            load_sweep(path)
+
+    def test_bad_base_scheduler_fails_at_load_time(self, tmp_path):
+        path = write_toml(
+            tmp_path,
+            FAST_BASE + 'scheduler = "lifo"\n\n[sweep]\njobs = 1\n',
+        )
+        with pytest.raises(SweepError, match="lifo"):
+            load_sweep(path)
+
+    def test_repeats_and_seed_parse(self, tmp_path):
+        path = write_toml(
+            tmp_path,
+            FAST_BASE + "\n[sweep]\njobs = 1\nrepeats = 3\nseed = 50\n",
+        )
+        spec = load_sweep(path)
+        assert spec.repeats == 3
+        assert [spec.seed_for(r) for r in range(3)] == [50, 51, 52]
+
+    def test_repeats_default_to_base_seed(self, tmp_path):
+        path = write_toml(tmp_path, FAST_BASE + "\n[sweep]\nrepeats = 2\n")
+        spec = load_sweep(path)
+        assert spec.seed_for(0) == spec.base.seed
+
+    def test_bad_repeats_fails(self, tmp_path):
+        path = write_toml(tmp_path, FAST_BASE + "\n[sweep]\nrepeats = 0\n")
+        with pytest.raises(SweepError, match="repeats"):
+            load_sweep(path)
+
+    def test_bad_arrival_scale_fails(self, tmp_path):
+        path = write_toml(
+            tmp_path, FAST_BASE + "\n[sweep]\narrival_scale = 0.0\n"
+        )
+        with pytest.raises(SweepError, match="arrival_scale"):
+            load_sweep(path)
+
+    def test_example_slo_sweep_file_is_valid(self):
+        spec = load_sweep("examples/slo_sweep.toml")
+        # Axes expand in AXES order: gaugers before schedulers.
+        assert spec.shape == "2×3"
+        assert spec.swept == ("gauger", "scheduler")
+        assert spec.base.slo_deadline_s == 500.0
+        assert spec.arrival_scale == pytest.approx(0.2)
+
 
 class TestRunSweep:
     @pytest.fixture(scope="class")
@@ -164,3 +228,100 @@ scale_mb = 300.0
         ]
         # Header + 2 cells.
         assert len(table_rows) == 3
+
+
+class TestRepeats:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        """A single cell repeated over three seeds."""
+        path = write_toml(
+            tmp_path_factory.mktemp("repeats"),
+            FAST_BASE
+            + """
+[sweep]
+jobs = 1
+scale_mb = 300.0
+repeats = 3
+""",
+        )
+        return run_sweep(load_sweep(path))
+
+    def test_metrics_are_means_with_stdev(self, result):
+        row = result.rows[0]
+        assert row.seeds == (11, 12, 13)
+        assert set(row.metrics_std) == set(row.metrics)
+        # Weather differs per seed, so JCT must actually vary.
+        assert row.metrics_std["mean_jct_s"] > 0.0
+
+    def test_markdown_carries_plus_minus(self, result):
+        markdown = render_markdown(result)
+        assert "±" in markdown
+        assert "3 repeats per cell" in markdown
+
+    def test_json_carries_std_and_seeds(self, result, tmp_path):
+        json_path, _ = write_report(result, tmp_path / "rep")
+        data = json.loads(json_path.read_text())
+        assert data["repeats"] == 3
+        cell = data["cells"][0]
+        assert cell["seeds"] == [11, 12, 13]
+        assert "mean_jct_s_std" in cell
+
+
+class TestParallelWorkers:
+    def test_parallel_run_matches_sequential(self, tmp_path):
+        path = write_toml(
+            tmp_path,
+            FAST_BASE
+            + """
+[sweep]
+gaugers = ["snapshot", "passive-telemetry"]
+schedulers = ["fifo", "deadline-edf"]
+jobs = 1
+scale_mb = 300.0
+""",
+        )
+        spec = load_sweep(path)
+        sequential = run_sweep(spec)
+        parallel = run_sweep(spec, workers=2)
+        assert [r.to_json() for r in parallel.rows] == [
+            r.to_json() for r in sequential.rows
+        ]
+
+    def test_bad_worker_count_rejected(self, tmp_path):
+        path = write_toml(tmp_path, FAST_BASE + "\n[sweep]\njobs = 1\n")
+        with pytest.raises(SweepError, match="workers"):
+            run_sweep(load_sweep(path), workers=0)
+
+
+class TestSchedulerAcceptance:
+    """The PR's acceptance sweep: policies diverge under pressure."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        """The committed example matrix, keyed by (gauger, scheduler)."""
+        result = run_sweep(load_sweep("examples/slo_sweep.toml"))
+        return {
+            (row.cell["gauger"], row.cell["scheduler"]): row.metrics
+            for row in result.rows
+        }
+
+    def test_deadline_edf_beats_fifo_on_attainment(self, rows):
+        edf = rows[("snapshot", "deadline-edf")]["slo_attainment"]
+        fifo = rows[("snapshot", "fifo")]["slo_attainment"]
+        assert edf > fifo
+
+    def test_replan_probe_cost_nonzero_for_snapshot_cells(self, rows):
+        for scheduler in ("fifo", "deadline-edf", "fair-share"):
+            metrics = rows[("snapshot", scheduler)]
+            assert metrics["replans"] >= 1.0
+            assert metrics["replan_cost_usd"] > 0.0
+
+    def test_passive_replans_stay_free(self, rows):
+        for scheduler in ("fifo", "deadline-edf", "fair-share"):
+            metrics = rows[("passive-telemetry", scheduler)]
+            assert metrics["replans"] >= 1.0
+            assert metrics["replan_cost_usd"] == 0.0
+            assert metrics["probe_cost_usd"] == 0.0
+
+    def test_every_cell_completed_under_pressure(self, rows):
+        assert all(m["completed"] == 12.0 for m in rows.values())

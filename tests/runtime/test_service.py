@@ -164,6 +164,83 @@ class TestServiceMechanics:
         assert online_service.predicted.min_bw() > 0
 
 
+class TestSchedulingService:
+    """Config-to-scheduler threading and re-plan cost charging."""
+
+    def _tiny(self, **overrides) -> WANifyService:
+        config = ServiceConfig(
+            regions=REGIONS[:3], seed=5, online=False, **FAST, **overrides
+        )
+        return WANifyService.build(config)
+
+    def test_scheduler_config_selects_admission_policy(self):
+        service = self._tiny(scheduler="priority", admit_batch=4)
+        assert service.scheduler.admission.name == "priority"
+        assert service.scheduler.reallocator.batch == 4
+        assert service.summary().scheduler == "priority"
+
+    def test_default_config_stays_fifo(self):
+        service = self._tiny()
+        assert service.scheduler.admission.name == "fifo"
+        assert service.scheduler.default_slo is None
+
+    def test_slo_deadline_config_becomes_default_slo(self):
+        service = self._tiny(slo_deadline_s=750.0)
+        default = service.scheduler.default_slo
+        assert default is not None
+        assert default.deadline_s == 750.0
+        from repro.gda.workloads.wordcount import wordcount_job
+
+        ticket = service.submit(
+            wordcount_job(
+                {k: 50.0 for k in REGIONS[:3]}, intermediate_mb=40.0
+            )
+        )
+        assert ticket.slo is default
+
+    def test_replan_charges_snapshot_probe_cost(self):
+        from repro.runtime.drift import ReplanEvent
+
+        service = self._tiny()
+        event = ReplanEvent(0.0, REGIONS[0], REGIONS[1], 10.0, 100.0, 0.9)
+        service.replan(event)
+        summary = service.summary()
+        n = len(REGIONS[:3])
+        assert summary.replans == 1
+        assert summary.replan_probe_transfers == n * (n - 1)
+        assert summary.replan_cost_usd > 0.0
+        assert summary.events[0].probe_cost_usd == pytest.approx(
+            summary.replan_cost_usd
+        )
+        # The charge is the ledger *delta*, so it is strictly less
+        # than the gauger's lifetime total (which includes the initial
+        # plan's gauge).
+        assert summary.replan_cost_usd < summary.probe_cost_usd
+        assert "re-gauge" in summary.events[0].describe()
+
+    def test_replan_budget_gates_the_control_loop(self):
+        class FiringDetector:
+            def check(self, now):
+                from repro.runtime.drift import ReplanEvent
+
+                return ReplanEvent(
+                    now, REGIONS[0], REGIONS[1], 10.0, 100.0, 0.9
+                )
+
+            def rebase(self, predicted, now):
+                pass
+
+        service = self._tiny(replan_budget_usd=0.0)
+        service.detector = FiringDetector()
+        service._check(1000.0)
+        assert service.summary().replans == 0  # budget already spent
+
+        unbudgeted = self._tiny()
+        unbudgeted.detector = FiringDetector()
+        unbudgeted._check(1000.0)
+        assert unbudgeted.summary().replans == 1
+
+
 class TestDefaultJobMix:
     def test_deterministic(self):
         a = default_job_mix(REGIONS, count=5, seed=3)

@@ -253,6 +253,51 @@ class TestSweep:
         assert (out_dir / "sweep.md").exists()
         assert "probe_transfers" in text
 
+    def test_schedulers_axis_dry_run(self):
+        code, text = run_cli(
+            "sweep", "--config", "examples/slo_sweep.toml", "--dry-run"
+        )
+        assert code == 0
+        assert "scheduler=deadline-edf" in text
+        assert "scheduler=fair-share" in text
+
+    def test_parallel_workers_match_sequential(self, tmp_path):
+        path = tmp_path / "tiny.toml"
+        path.write_text(
+            'regions = ["us-east-1", "us-west-1"]\n'
+            "n_training_datasets = 3\n"
+            "n_estimators = 2\n"
+            "[sweep]\n"
+            'schedulers = ["fifo", "priority"]\n'
+            "jobs = 1\n"
+            "scale_mb = 300.0\n"
+        )
+        seq_dir, par_dir = tmp_path / "seq", tmp_path / "par"
+        code, _ = run_cli("sweep", "--config", str(path), "--output", str(seq_dir))
+        assert code == 0
+        code, _ = run_cli(
+            "sweep", "--config", str(path), "--output", str(par_dir),
+            "--jobs", "2",
+        )
+        assert code == 0
+        assert (seq_dir / "sweep.json").read_text() == (
+            par_dir / "sweep.json"
+        ).read_text()
+
+    def test_bad_worker_count_fails_cleanly(self):
+        code, text = run_cli(
+            "sweep", "--config", "examples/sweep.toml", "--jobs", "0"
+        )
+        assert code == 2
+        assert "--jobs" in text
+        # The check must not be skipped in dry-run mode either.
+        code, text = run_cli(
+            "sweep", "--config", "examples/sweep.toml", "--jobs", "0",
+            "--dry-run",
+        )
+        assert code == 2
+        assert "--jobs" in text
+
 
 class TestRegisteredNameErrors:
     """Every name an error message advertises must actually resolve."""
@@ -290,6 +335,7 @@ class TestRegisteredNameErrors:
             ("--gauger", "gauger_registry"),
             ("--predictor", "predictor_registry"),
             ("--planner", "planner_registry"),
+            ("--scheduler", "admission_policy_registry"),
         ],
     )
     def test_registry_error_names_all_resolve(self, flag, registry_name):
