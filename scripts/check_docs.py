@@ -12,7 +12,11 @@ Checks, over README.md and every ``docs/*.md``:
 3. **blocks marked ``# doctest: run`` execute fully** — for small
    self-contained examples we want exercised end to end;
 4. **intra-repo links resolve** — every relative markdown link target
-   (``[text](path)``, anchors stripped) must exist on disk.
+   (``[text](path)``, anchors stripped) must exist on disk;
+5. **config coverage** — every field of ``PipelineConfig`` and
+   ``ServiceConfig`` must appear (as `` `field_name` ``) in
+   docs/OPERATIONS.md, so the operator's guide cannot silently rot
+   when a config knob is added.
 
 Shell blocks and absolute/external URLs are left alone.  Exit code 0
 when everything passes; 1 with a findings list otherwise.
@@ -37,7 +41,11 @@ DOCUMENTS = (
     "docs/ARCHITECTURE.md",
     "docs/API.md",
     "docs/SCHEDULING.md",
+    "docs/OPERATIONS.md",
 )
+
+#: The operator's guide — must document every config field.
+OPERATIONS = "docs/OPERATIONS.md"
 
 #: ```python … ``` fenced blocks.
 CODE_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -120,6 +128,38 @@ def check_links(path: Path, failures: list[str]) -> int:
     return checked
 
 
+def check_config_coverage(failures: list[str]) -> int:
+    """Every ``PipelineConfig``/``ServiceConfig`` field must appear in
+    docs/OPERATIONS.md as a backticked name.
+
+    Requires ``src/`` on ``sys.path`` (``main`` arranges this).  The
+    config dataclasses are the source of truth: adding a field without
+    documenting its default/spelling/consumer fails the docs job.
+    """
+    import dataclasses
+
+    from repro.pipeline.config import PipelineConfig, ServiceConfig
+
+    operations = REPO / OPERATIONS
+    if not operations.exists():
+        failures.append(f"{OPERATIONS}: missing (config fields undocumented)")
+        return 0
+    text = operations.read_text()
+    checked = 0
+    names: set[str] = set()
+    for cls in (PipelineConfig, ServiceConfig):
+        for field in dataclasses.fields(cls):
+            names.add(field.name)
+    for name in sorted(names):
+        checked += 1
+        if f"`{name}`" not in text:
+            failures.append(
+                f"{OPERATIONS}: config field `{name}` undocumented "
+                f"(add it to the knob tables)"
+            )
+    return checked
+
+
 def main() -> int:
     """Run every check; print a summary; 0 iff clean."""
     sys.path.insert(0, str(REPO / "src"))
@@ -129,9 +169,10 @@ def main() -> int:
     for path in documents:
         blocks += check_code_blocks(path, failures)
         links += check_links(path, failures)
+    fields = check_config_coverage(failures)
     print(
         f"checked {len(documents)} documents: {blocks} code blocks, "
-        f"{links} intra-repo links"
+        f"{links} intra-repo links, {fields} config fields"
     )
     for failure in failures:
         print(f"FAIL: {failure}")

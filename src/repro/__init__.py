@@ -91,18 +91,20 @@ from repro.pipeline import (
     planner_registry,
     policy_registry,
     predictor_registry,
+    preemption_policy_registry,
     register_admission_policy,
     register_gauger,
     register_planner,
     register_policy,
     register_predictor,
+    register_preemption_policy,
     register_scenario,
     register_variant,
     scenario_registry,
     variant_registry,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Runtime-service names resolved lazily (PEP 562) — they pull in the
 #: GDA engine and scipy, which ``import repro`` alone should not pay
@@ -113,6 +115,9 @@ _LAZY_EXPORTS = {
     "PipelineService": "repro.runtime.service",
     "SCENARIOS": "repro.runtime.scenarios",
     "SLO": "repro.runtime.scheduling",
+    "ControlPlane": "repro.runtime.control",
+    "BandwidthGovernor": "repro.runtime.control",
+    "ConcurrencyAutoscaler": "repro.runtime.control",
     "TelemetryStore": "repro.runtime.telemetry",
     "WANifyService": "repro.runtime.service",
     "register_scenario_model": "repro.runtime.scenarios",
@@ -184,11 +189,16 @@ __all__ = [
     "planner_registry",
     "policy_registry",
     "predictor_registry",
+    "BandwidthGovernor",
+    "ConcurrencyAutoscaler",
+    "ControlPlane",
+    "preemption_policy_registry",
     "register_admission_policy",
     "register_gauger",
     "register_planner",
     "register_policy",
     "register_predictor",
+    "register_preemption_policy",
     "register_scenario",
     "register_variant",
     "scenario_registry",

@@ -61,6 +61,7 @@ from repro.pipeline.registry import (
     planner_registry,
     policy_registry,
     predictor_registry,
+    preemption_policy_registry,
     variant_registry,
 )
 
@@ -112,6 +113,7 @@ def _check_registered(config: object, out: IO[str]) -> bool:
         ("predictor", predictor_registry),
         ("planner", planner_registry),
         ("scheduler", admission_policy_registry),
+        ("preemption", preemption_policy_registry),
     )
     for field_name, registry in checks:
         value = getattr(config, field_name, None)
@@ -289,6 +291,14 @@ def _render_service(svc, out: IO[str]) -> None:
             f"deadlines met "
             f"({summary.slo_attainment * 100.0:.0f}% attainment)\n"
         )
+    if summary.preemptions or summary.throttle_moves:
+        out.write(
+            f"control plane: {summary.preemptions} preemptions "
+            f"({summary.migrations} migrated), "
+            f"{summary.throttle_moves} throttle moves "
+            f"({summary.throttle_releases} released), "
+            f"peak concurrency {summary.concurrency_high_water}\n"
+        )
 
 
 def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
@@ -340,6 +350,16 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
         out.write(
             f"--max-concurrent must be ≥ 1 "
             f"(got {base_config.max_concurrent})\n"
+        )
+        return 2
+    if (
+        base_config.autoscale
+        and base_config.autoscale_max < base_config.max_concurrent
+    ):
+        out.write(
+            f"--autoscale-max ({base_config.autoscale_max}) must be ≥ "
+            f"--max-concurrent ({base_config.max_concurrent}) — the "
+            f"autoscaler scales between them\n"
         )
         return 2
     if args.scale_mb <= 0:

@@ -54,7 +54,13 @@ from typing import Any, Mapping, Optional, Union
 from repro.net.profiles import network_profile
 from repro.net.topology import Topology
 from repro.pipeline.alternates import CachedPredictor
-from repro.pipeline.config import ServiceConfig, layered_config, load_config_file
+from repro.pipeline.config import (
+    ServiceConfig,
+    _coerce,
+    _field_types,
+    layered_config,
+    load_config_file,
+)
 from repro.pipeline.core import Pipeline
 from repro.pipeline.registry import (
     Registry,
@@ -64,13 +70,17 @@ from repro.pipeline.registry import (
     planner_registry,
     policy_registry,
     predictor_registry,
+    preemption_policy_registry,
     variant_registry,
 )
 from repro.pipeline.stages import ForestPredictor
 
 #: ``[sweep]`` axis key → (ServiceConfig field, validating registry).
 #: Scenarios validate through :func:`repro.runtime.scenarios
-#: .scenario_known` instead (composed ``+`` names are legal there).
+#: .scenario_known` instead (composed ``+`` names are legal there);
+#: registry-less non-scenario axes (``governors`` / ``autoscales`` —
+#: booleans) coerce through the config field's annotated type, so
+#: ``governors = [true, false]`` sweeps the governor on and off.
 AXES: tuple[tuple[str, str, Optional[Registry]], ...] = (
     ("variants", "variant", variant_registry),
     ("scenarios", "scenario", None),
@@ -79,6 +89,9 @@ AXES: tuple[tuple[str, str, Optional[Registry]], ...] = (
     ("planners", "planner", planner_registry),
     ("policies", "policy", policy_registry),
     ("schedulers", "scheduler", admission_policy_registry),
+    ("preemptions", "preemption", preemption_policy_registry),
+    ("governors", "governor", None),
+    ("autoscales", "autoscale", None),
 )
 
 #: Entry-point defaults for sweep runs (beneath files/env/overrides):
@@ -101,6 +114,9 @@ METRIC_COLUMNS: tuple[str, ...] = (
     "replan_cost_usd",
     "slo_attainment",
     "fairness",
+    "preemptions",
+    "throttle_moves",
+    "concurrency_high_water",
 )
 
 
@@ -109,8 +125,10 @@ class SweepSpec:
     """A fully validated sweep: base config, axes, and run knobs."""
 
     base: ServiceConfig
-    #: ServiceConfig field → the values that axis takes (≥ 1 each).
-    axes: Mapping[str, tuple[str, ...]]
+    #: ServiceConfig field → the values that axis takes (≥ 1 each;
+    #: strings for registry/scenario axes, field-typed values — e.g.
+    #: booleans — for the rest).
+    axes: Mapping[str, tuple[Any, ...]]
     #: Axis fields explicitly listed in the ``[sweep]`` section, in
     #: file order — these become the report's leading columns.
     swept: tuple[str, ...]
@@ -134,13 +152,13 @@ class SweepSpec:
         return base_seed + repeat
 
     @property
-    def cells(self) -> list[dict[str, str]]:
+    def cells(self) -> list[dict[str, Any]]:
         """The cartesian matrix as per-cell config overrides."""
         fields = [f for f in self.axes if len(self.axes[f]) > 0]
         combos = itertools.product(*(self.axes[f] for f in fields))
         return [dict(zip(fields, combo)) for combo in combos]
 
-    def label(self, cell: Mapping[str, str]) -> str:
+    def label(self, cell: Mapping[str, Any]) -> str:
         """Compact ``field=value`` label over the swept axes."""
         parts = [f"{f}={cell[f]}" for f in self.swept]
         return " ".join(parts) if parts else "default"
@@ -182,7 +200,8 @@ def load_sweep(
         defaults=SWEEP_DEFAULTS,
     )
 
-    axes: dict[str, tuple[str, ...]] = {}
+    types = _field_types(ServiceConfig)
+    axes: dict[str, tuple[Any, ...]] = {}
     swept: list[str] = []
     for key, config_field_, registry in AXES:
         raw = section.get(key)
@@ -191,14 +210,28 @@ def load_sweep(
             # should fail here, not as a mid-run traceback.
             axes[config_field_] = (getattr(base, config_field_),)
             continue
-        if isinstance(raw, str):
+        if isinstance(raw, (str, bool)):
             raw = [raw]
         if not isinstance(raw, (list, tuple)):
             raise SweepError(
-                f"sweep axis {key!r} must be a string or a list of "
-                f"strings; got {raw!r}"
+                f"sweep axis {key!r} must be a value or a list of "
+                f"values; got {raw!r}"
             )
-        values = tuple(str(v) for v in raw)
+        if registry is not None or config_field_ == "scenario":
+            values = tuple(str(v) for v in raw)
+        else:
+            # Registry-less, non-scenario axes (the control-plane
+            # booleans): coerce through the config field's type so
+            # TOML booleans and "true"/"false" strings both work.
+            try:
+                values = tuple(
+                    _coerce(config_field_, types[config_field_], v)
+                    for v in raw
+                )
+            except ValueError as exc:
+                raise SweepError(
+                    f"bad value in sweep axis {key!r}: {exc}"
+                ) from None
         if not values:
             raise SweepError(f"sweep axis {key!r} is empty")
         axes[config_field_] = values
@@ -213,13 +246,19 @@ def load_sweep(
                         f"unknown {registry.kind} {value!r} in sweep axis "
                         f"{key!r}; known: {', '.join(registry.names())}"
                     )
-            elif not scenario_known(value):
+            elif config_field_ == "scenario" and not scenario_known(value):
                 raise SweepError(
                     f"unknown scenario {value!r} in sweep axis {key!r}; "
                     f"known: {', '.join(scenario_names(include_composed=True))} "
                     f"(join with + to compose)"
                 )
 
+    if any(axes["autoscale"]) and base.autoscale_max < base.max_concurrent:
+        raise SweepError(
+            f"autoscale_max ({base.autoscale_max}) must be ≥ "
+            f"max_concurrent ({base.max_concurrent}) when autoscaling — "
+            f"the cell would fail mid-matrix otherwise"
+        )
     known_keys = {key for key, _, _ in AXES} | {
         "jobs",
         "scale_mb",
@@ -270,7 +309,7 @@ class CellResult:
     ``metrics_std`` carries the matching sample standard deviations.
     """
 
-    cell: dict[str, str]
+    cell: dict[str, Any]
     label: str
     metrics: dict[str, float]
     #: Sample stdev per metric (only populated when ``repeats > 1``).
@@ -421,7 +460,7 @@ def _run_once(
 
 def run_cell(
     spec: SweepSpec,
-    cell: Mapping[str, str],
+    cell: Mapping[str, Any],
     trained: Optional[dict[tuple, ForestPredictor]] = None,
 ) -> CellResult:
     """Run one matrix cell (all its repetitions) and collect its row."""
@@ -491,7 +530,7 @@ def _init_worker(trained: dict[tuple, ForestPredictor]) -> None:
     _WORKER_TRAINED = trained
 
 
-def _run_cell_in_worker(spec: SweepSpec, cell: dict[str, str]) -> CellResult:
+def _run_cell_in_worker(spec: SweepSpec, cell: dict[str, Any]) -> CellResult:
     return run_cell(spec, cell, _WORKER_TRAINED)
 
 

@@ -369,6 +369,19 @@ class NetworkSimulator:
     # Observation
     # ------------------------------------------------------------------
 
+    def active_transfers(self) -> list[Transfer]:
+        """The WAN transfers currently in flight (LAN excluded).
+
+        Each carries its ``tag`` (the runtime executor tags transfers
+        ``"<job>:<stage>"``), pair, and instantaneous ``rate_mbps`` —
+        the control plane's bandwidth governor reads this to attribute
+        per-pair WAN share to jobs before shifting it.
+        """
+        out: list[Transfer] = []
+        for bucket in self._active.values():
+            out.extend(bucket)
+        return out
+
     def current_rate(self, src: str, dst: str) -> float:
         """Instantaneous aggregate rate of an ordered pair (Mbps)."""
         if src == dst:

@@ -53,11 +53,13 @@ from repro.pipeline.registry import (
     planner_registry,
     policy_registry,
     predictor_registry,
+    preemption_policy_registry,
     register_admission_policy,
     register_gauger,
     register_planner,
     register_policy,
     register_predictor,
+    register_preemption_policy,
     register_scenario,
     register_variant,
     scenario_registry,
@@ -108,11 +110,13 @@ __all__ = [
     "planner_registry",
     "policy_registry",
     "predictor_registry",
+    "preemption_policy_registry",
     "register_admission_policy",
     "register_gauger",
     "register_planner",
     "register_policy",
     "register_predictor",
+    "register_preemption_policy",
     "register_scenario",
     "register_variant",
     "scenario_registry",

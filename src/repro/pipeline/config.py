@@ -126,6 +126,41 @@ class ServiceConfig(PipelineConfig):
     replan_budget_usd: Optional[float] = config_field(
         None, help="probe-dollar budget for re-plans (unlimited when unset)"
     )
+    #: Preemption policy — names an entry in
+    #: ``repro.pipeline.registry.preemption_policy_registry`` (``none``,
+    #: ``urgent-slo``, ``cost-aware``, or anything registered from user
+    #: code).  ``none`` keeps the pre-control-plane behavior exactly.
+    preemption: str = config_field(
+        "none", help="preemption policy (registered name)"
+    )
+    #: Deadline-aware bandwidth governor: shift WAN share from
+    #: slack-rich to slack-poor running jobs via traffic-control caps.
+    governor: bool = config_field(
+        False, help="deadline-aware bandwidth governor"
+    )
+    #: Autoscale the scheduler's ``max_concurrent`` between its
+    #: configured value (the floor) and ``autoscale_max``.
+    autoscale: bool = config_field(
+        False, help="autoscale max_concurrent from queue depth/attainment"
+    )
+    #: Control-plane tick period.  Deliberately off the 30 s drift
+    #: grid so control and drift interventions interleave rather than
+    #: stack on one simulator instant.
+    control_interval_s: float = config_field(
+        45.0, help="control-plane tick period (s)"
+    )
+    #: Slack above which a running job may donate WAN share.
+    governor_slack_s: float = config_field(
+        120.0, help="slack making a job throttle-eligible (s)"
+    )
+    #: Fraction of a rich pair's current rate its cap allows through.
+    governor_throttle_factor: float = config_field(
+        0.5, help="governor cap as a fraction of current pair rate"
+    )
+    #: Autoscaler concurrency ceiling (``max_concurrent`` is the floor).
+    autoscale_max: int = config_field(
+        6, help="autoscaler max_concurrent ceiling"
+    )
     epoch_s: float = config_field(EPOCH_S, help="AIMD agent epoch (s)")
     check_interval_s: float = config_field(30.0, help="drift check period (s)")
     #: Mirrors ``repro.runtime.drift.DEFAULT_THRESHOLD`` — duplicated

@@ -191,6 +191,13 @@ admission_policy_registry = Registry(
     "admission policy", bootstrap="repro.runtime.scheduling.policies"
 )
 
+#: Control-plane preemption policies — entries are
+#: :class:`~repro.runtime.control.preemption.PreemptionPolicy` classes
+#: or instances (``none`` / ``urgent-slo`` / ``cost-aware`` built in).
+preemption_policy_registry = Registry(
+    "preemption policy", bootstrap="repro.runtime.control.preemption"
+)
+
 register_gauger = gauger_registry.register
 register_predictor = predictor_registry.register
 register_planner = planner_registry.register
@@ -198,6 +205,7 @@ register_variant = variant_registry.register
 register_policy = policy_registry.register
 register_scenario = scenario_registry.register
 register_admission_policy = admission_policy_registry.register
+register_preemption_policy = preemption_policy_registry.register
 
 
 def build_stage(registry: Registry, name: str, **context: object) -> object:
@@ -249,6 +257,20 @@ def admission_policy(spec: object) -> object:
     """
     if isinstance(spec, str):
         spec = admission_policy_registry.get(spec)
+    if isinstance(spec, type):
+        spec = spec()
+    return spec
+
+
+def preemption_policy(spec: object) -> object:
+    """Resolve a preemption-policy spec — instance, class, or name.
+
+    The control plane accepts all three spellings, mirroring
+    :func:`admission_policy`; strings resolve through
+    :data:`preemption_policy_registry`, classes are instantiated.
+    """
+    if isinstance(spec, str):
+        spec = preemption_policy_registry.get(spec)
     if isinstance(spec, type):
         spec = spec()
     return spec

@@ -22,8 +22,14 @@ service on the deterministic :mod:`repro.sim` kernel:
   ``deadline-edf`` / ``fair-share``), per-job :class:`SLO` promises,
   and the :class:`BatchedReallocator` that amortizes queue
   re-ordering over submission batches;
+* :mod:`repro.runtime.control` — the control plane: registered
+  preemption policies (``none`` / ``urgent-slo`` / ``cost-aware``)
+  pausing/resuming jobs via executor checkpoints, the deadline-aware
+  :class:`BandwidthGovernor` shifting WAN share between running jobs,
+  and the :class:`ConcurrencyAutoscaler` driving ``max_concurrent``;
 * :mod:`repro.runtime.executor` — the event-driven (non-blocking) job
-  runner the scheduler uses to interleave jobs on one simulator;
+  runner the scheduler uses to interleave jobs on one simulator, with
+  pause/resume checkpointing for preemption;
 * :mod:`repro.runtime.scenarios` — named bandwidth-dynamics scenarios
   (diurnal swing, flash crowd, link degradation/failure, step drop)
   pluggable into :class:`~repro.net.simulator.NetworkSimulator`;
@@ -44,8 +50,17 @@ Quick tour::
 ``python -m repro serve`` exposes the same loop from the command line.
 """
 
+from repro.runtime.control import (
+    BandwidthGovernor,
+    ConcurrencyAutoscaler,
+    ControlPlane,
+    ControlView,
+    PreemptionDecision,
+    PreemptionPolicy,
+    SlackEstimator,
+)
 from repro.runtime.drift import DriftDetector, ReplanEvent
-from repro.runtime.executor import JobRun
+from repro.runtime.executor import JobCheckpoint, JobRun
 from repro.runtime.scenarios import (
     SCENARIOS,
     ComposedScenario,
@@ -77,12 +92,20 @@ from repro.runtime.telemetry import LinkEstimate, LinkSeries, TelemetryStore
 
 __all__ = [
     "AdmissionPolicy",
+    "BandwidthGovernor",
     "BatchedReallocator",
     "ComposedScenario",
+    "ConcurrencyAutoscaler",
+    "ControlPlane",
+    "ControlView",
     "DiurnalSwing",
     "DriftDetector",
     "FlashCrowd",
+    "JobCheckpoint",
     "JobRun",
+    "PreemptionDecision",
+    "PreemptionPolicy",
+    "SlackEstimator",
     "JobScheduler",
     "JobTicket",
     "LinkDegradation",

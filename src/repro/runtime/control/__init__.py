@@ -1,0 +1,66 @@
+"""Runtime control plane: preemption, deadline-aware throttling, autoscaling.
+
+The scheduler decides who *starts*; this package decides what happens
+to jobs already running when the world changes.  Three cooperating
+mechanisms, one periodic loop:
+
+* :mod:`~repro.runtime.control.preemption` — registered
+  :class:`PreemptionPolicy` implementations (``none`` / ``urgent-slo``
+  / ``cost-aware``) that checkpoint a slack-rich running job and hand
+  its slot to a deadline-critical queued one, optionally migrating the
+  victim to the current backend plan on resume;
+* :mod:`~repro.runtime.control.governor` — the
+  :class:`BandwidthGovernor`, which shifts simulated WAN share from
+  slack-rich to slack-poor jobs through the traffic-control table,
+  and releases every cap it applies;
+* :mod:`~repro.runtime.control.autoscaler` — the
+  :class:`ConcurrencyAutoscaler`, driving the scheduler's
+  ``max_concurrent`` from queue depth and attainment pressure;
+* :mod:`~repro.runtime.control.slack` — the shared
+  :class:`SlackEstimator` all three rank jobs with;
+* :mod:`~repro.runtime.control.plane` — the :class:`ControlPlane`
+  loop wiring them onto a scheduler.
+
+Enable from config — every knob is a
+:class:`~repro.pipeline.config.ServiceConfig` field::
+
+    from repro import PipelineService, ServiceConfig
+
+    service = PipelineService.build(ServiceConfig(
+        scenario="flash-crowd",
+        slo_deadline_s=500.0,
+        preemption="urgent-slo",   # or "cost-aware"
+        governor=True,
+        autoscale=True,
+    ))
+
+The operator-facing guide (defaults, tuning, the flash-crowd cookbook)
+is ``docs/OPERATIONS.md``.
+"""
+
+from repro.runtime.control.autoscaler import ConcurrencyAutoscaler
+from repro.runtime.control.governor import BandwidthGovernor
+from repro.runtime.control.plane import ControlPlane
+from repro.runtime.control.preemption import (
+    ControlView,
+    CostAwarePreemption,
+    NoPreemption,
+    PreemptionDecision,
+    PreemptionPolicy,
+    UrgentSloPreemption,
+)
+from repro.runtime.control.slack import SlackEstimator, job_wan_mb
+
+__all__ = [
+    "BandwidthGovernor",
+    "ConcurrencyAutoscaler",
+    "ControlPlane",
+    "ControlView",
+    "CostAwarePreemption",
+    "NoPreemption",
+    "PreemptionDecision",
+    "PreemptionPolicy",
+    "SlackEstimator",
+    "UrgentSloPreemption",
+    "job_wan_mb",
+]

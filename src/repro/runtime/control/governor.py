@@ -1,0 +1,176 @@
+"""Deadline-aware bandwidth governing: shift WAN share by slack.
+
+Connection planning balances *pairs*; the governor balances *jobs*.
+Each control tick it classifies running jobs by slack — **poor** (slack
+below zero: predicted to miss their deadline) and **rich** (slack above
+``rich_slack_s``, or no deadline at all) — and, while at least one poor
+job is running, caps the pairs that only rich jobs are using through
+the simulator's :class:`~repro.net.traffic_control.TrafficController`.
+Max-min reallocation does the rest: capping a rich job's pair frees the
+shared NIC capacity at its endpoints, and the poor job's flows absorb
+it — the same mechanism WANify's §3.2.2 throttling uses to rescue weak
+pairs, pointed at SLO slack instead of pair asymmetry.
+
+Every cap remembers the limit it replaced and is **released** — the
+previous limit restored, or the cap cleared — as soon as its
+justification lapses: the pair picks up a non-rich job's transfers,
+the owning jobs finish or are preempted, no poor job remains, or the
+governor shuts down.  After a service re-plan tears the deployment
+down (wiping the TC table wholesale), :meth:`forget` drops the now-
+stale records without touching the fresh deployment's throttles.
+The ``throttle_moves`` / ``throttle_releases`` counters make the
+apply/release ledger auditable — a finished run must show them equal,
+which ``tests/runtime/test_control.py`` pins as a regression test.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.net.simulator import NetworkSimulator
+
+if TYPE_CHECKING:
+    from repro.runtime.scheduler import JobTicket
+
+#: Default slack (s) above which a running job may donate WAN share.
+DEFAULT_RICH_SLACK_S = 120.0
+
+#: Default fraction of a pair's current rate the cap allows through.
+DEFAULT_THROTTLE_FACTOR = 0.5
+
+#: Caps never squeeze a pair below this (Mbps) — a starved donor stops
+#: being a donor and starts being a second missed deadline.
+DEFAULT_FLOOR_MBPS = 25.0
+
+
+class BandwidthGovernor:
+    """Applies (and scrupulously releases) slack-driven pair caps."""
+
+    def __init__(
+        self,
+        network: NetworkSimulator,
+        rich_slack_s: float = DEFAULT_RICH_SLACK_S,
+        throttle_factor: float = DEFAULT_THROTTLE_FACTOR,
+        floor_mbps: float = DEFAULT_FLOOR_MBPS,
+    ) -> None:
+        if not 0.0 < throttle_factor < 1.0:
+            raise ValueError(
+                f"throttle_factor must be in (0, 1): {throttle_factor}"
+            )
+        self.network = network
+        self.rich_slack_s = rich_slack_s
+        self.throttle_factor = throttle_factor
+        self.floor_mbps = floor_mbps
+        #: pair → the limit in force before our cap (``None`` = none).
+        self.held: dict[tuple[str, str], Optional[float]] = {}
+        #: pair → the rich jobs whose transfers justified the cap.
+        self._owners: dict[tuple[str, str], frozenset[str]] = {}
+        #: Caps applied over the governor's lifetime.
+        self.throttle_moves = 0
+        #: Caps released (restored, cleared, or forgotten after a
+        #: deployment teardown).  Equals ``throttle_moves`` once the
+        #: run is over — the no-leak invariant.
+        self.throttle_releases = 0
+
+    # -- the rebalancing tick -------------------------------------------
+
+    def rebalance(
+        self,
+        now: float,
+        running: Sequence["JobTicket"],
+        slack_s: Callable[["JobTicket"], Optional[float]],
+    ) -> int:
+        """One governing pass; returns the number of caps applied."""
+        slacks = {t.job.name: slack_s(t) for t in running}
+        poor = {
+            name for name, s in slacks.items() if s is not None and s < 0.0
+        }
+        rich = {
+            name
+            for name, s in slacks.items()
+            if s is None or s > self.rich_slack_s
+        }
+        users_by_pair: dict[tuple[str, str], set[str]] = {}
+        rate_by_pair: dict[tuple[str, str], float] = {}
+        for transfer in self.network.active_transfers():
+            job = transfer.tag.split(":", 1)[0]
+            pair = (transfer.src, transfer.dst)
+            users_by_pair.setdefault(pair, set()).add(job)
+            rate_by_pair[pair] = (
+                rate_by_pair.get(pair, 0.0) + transfer.rate_mbps
+            )
+        # Release first: a cap outlives its justification the moment the
+        # pair carries a non-rich job (we would be throttling the very
+        # job we meant to help), the owners left the rich set, or
+        # nobody poor remains to benefit.
+        for pair in list(self.held):
+            users = users_by_pair.get(pair, set())
+            owners = self._owners[pair]
+            if (
+                not poor
+                or not (owners & rich)
+                or (users - rich)
+            ):
+                self._release(pair)
+        if not poor:
+            return 0
+        applied = 0
+        for pair, users in sorted(users_by_pair.items()):
+            if pair in self.held:
+                continue
+            if not users or not users <= rich:
+                continue
+            rate = rate_by_pair.get(pair, 0.0)
+            if rate <= 0.0:
+                continue
+            cap = max(rate * self.throttle_factor, self.floor_mbps)
+            previous = self.network.tc.limit(*pair)
+            if previous <= cap:
+                continue
+            self.held[pair] = (
+                previous if previous != float("inf") else None
+            )
+            self._owners[pair] = frozenset(users)
+            self.network.tc.set_limit(*pair, cap)
+            self.throttle_moves += 1
+            applied += 1
+        return applied
+
+    # -- releases --------------------------------------------------------
+
+    def _release(self, pair: tuple[str, str]) -> None:
+        previous = self.held.pop(pair)
+        self._owners.pop(pair)
+        if previous is None:
+            self.network.tc.clear_limit(*pair)
+        else:
+            self.network.tc.set_limit(*pair, previous)
+        self.throttle_releases += 1
+
+    def release_job(self, job_name: str) -> None:
+        """Release every cap the named job's transfers justified.
+
+        Called on job completion *and* preemption — a paused job's
+        transfers are gone, so its caps have nothing left to govern.
+        """
+        for pair in list(self.held):
+            if job_name in self._owners[pair]:
+                self._release(pair)
+
+    def release_all(self) -> None:
+        """Release every held cap (governor shutdown)."""
+        for pair in list(self.held):
+            self._release(pair)
+
+    def forget(self) -> None:
+        """Drop records after a deployment teardown wiped the TC table.
+
+        The caps are already gone (and the next deployment installs its
+        own throttles), so restoring previous limits here would clobber
+        the fresh plan — the records are simply retired, still counted
+        as releases so the apply/release ledger stays balanced.
+        """
+        retired = len(self.held)
+        self.held.clear()
+        self._owners.clear()
+        self.throttle_releases += retired

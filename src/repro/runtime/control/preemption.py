@@ -1,0 +1,307 @@
+"""Registered preemption policies: when a running job yields its slot.
+
+Admission policies decide who gets a *free* slot; preemption policies
+decide when to *make* one.  Each control-plane tick the policy sees a
+read-only :class:`ControlView` (running and queued tickets plus slack
+and cost estimators) and may return one :class:`PreemptionDecision` —
+a (victim, beneficiary) pair the scheduler then swaps: the victim's run
+is checkpointed and re-queued, the beneficiary starts in its slot.
+
+Built-ins, registered in
+:data:`~repro.pipeline.registry.preemption_policy_registry`::
+
+    @register_preemption_policy("none")        # never preempt (default)
+    @register_preemption_policy("urgent-slo")  # rescue deadline-critical
+    @register_preemption_policy("cost-aware")  # rescue only when cheap
+
+Register your own the same way admission policies are registered —
+the name becomes selectable from ``ServiceConfig(preemption=...)``,
+``WANIFY_PREEMPTION``, ``--preemption`` on ``serve``, and the sweep
+matrix's ``preemptions`` axis::
+
+    from repro.pipeline.registry import register_preemption_policy
+
+    @register_preemption_policy("oldest-first")
+    class OldestFirst:
+        name = "oldest-first"
+
+        def select(self, view):
+            ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from repro.pipeline.registry import register_preemption_policy
+
+if TYPE_CHECKING:
+    from repro.runtime.scheduler import JobTicket
+
+
+@dataclass(frozen=True)
+class PreemptionDecision:
+    """One slot swap the policy wants: pause ``victim``, start ``beneficiary``."""
+
+    victim: "JobTicket"
+    beneficiary: "JobTicket"
+    #: Re-resolve the victim's placement policy from the scheduler's
+    #: current default before resume — set when a multi-backend re-plan
+    #: has re-pointed the scheduler since the victim started.
+    migrate: bool = False
+    #: Human-readable rationale, surfaced in control-plane traces.
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class ControlView:
+    """Read-only control-plane state handed to preemption policies."""
+
+    #: Current simulated time.
+    now: float
+    #: Tickets currently executing.
+    running: Sequence["JobTicket"]
+    #: Tickets waiting for a slot.
+    queued: Sequence["JobTicket"]
+    #: Slack estimator (``None`` for deadline-free tickets) — see
+    #: :class:`~repro.runtime.control.slack.SlackEstimator`.
+    slack_s: Callable[["JobTicket"], Optional[float]]
+    #: Predicted seconds to completion for a ticket.
+    remaining_s: Callable[["JobTicket"], float]
+    #: Work (seconds) a preemption of this ticket would discard — the
+    #: time spent inside the run's current phase.
+    phase_cost_s: Callable[["JobTicket"], float]
+    #: The scheduler's current default placement policy name (what a
+    #: migrated victim would resume under).
+    default_policy_name: str = ""
+    #: Whether the slack estimator has real throughput to calibrate
+    #: against (at least one completed job).  Slack numbers before
+    #: calibration are order-of-magnitude pessimistic — the built-in
+    #: policies refuse to preempt on them.
+    calibrated: bool = False
+
+
+@runtime_checkable
+class PreemptionPolicy(Protocol):
+    """Chooses at most one (victim, beneficiary) swap per control tick."""
+
+    #: Registry key, reported in control-plane stats.
+    name: str
+
+    def select(self, view: ControlView) -> Optional[PreemptionDecision]:
+        """The swap to perform now, or ``None`` to leave slots alone."""
+        ...
+
+
+@register_preemption_policy("none")
+class NoPreemption:
+    """Never preempts — the default, and the pre-control-plane behavior."""
+
+    name = "none"
+
+    def select(self, view: ControlView) -> Optional[PreemptionDecision]:
+        """No swap, ever."""
+        return None
+
+
+@register_preemption_policy("urgent-slo")
+class UrgentSloPreemption:
+    """Rescue a deadline-critical queued job from a slack-rich runner.
+
+    Fires when a queued job's slack has gone below ``urgency_s`` while
+    a running job holds at least ``min_gain_s`` *more* slack than it
+    (deadline-free runners count as infinitely slack-rich).  Guards
+    against thrash — every preemption discards in-flight phase work,
+    so a trigger-happy policy loses more deadlines than it saves:
+
+    * a ticket is never victimized twice within ``cooldown_s``, more
+      than ``max_preemptions`` times total, or while its own slack is
+      below ``victim_floor_s`` (preempting one deadline-critical job
+      for another just moves the miss around);
+    * a queued job whose slack has sunk below ``rescue_floor_s`` is
+      *hopeless* — it misses even if started this instant, so burning
+      a victim on it is pure loss;
+    * at most one swap fires per ``fire_interval_s`` across all
+      tickets, bounding total churn regardless of queue depth.
+    """
+
+    name = "urgent-slo"
+
+    def __init__(
+        self,
+        urgency_s: float = 90.0,
+        min_gain_s: float = 120.0,
+        cooldown_s: float = 240.0,
+        max_preemptions: int = 2,
+        victim_floor_s: float = 120.0,
+        rescue_floor_s: float = -180.0,
+        fire_interval_s: float = 120.0,
+    ) -> None:
+        self.urgency_s = urgency_s
+        self.min_gain_s = min_gain_s
+        self.cooldown_s = cooldown_s
+        self.max_preemptions = max_preemptions
+        self.victim_floor_s = victim_floor_s
+        self.rescue_floor_s = rescue_floor_s
+        self.fire_interval_s = fire_interval_s
+        self._last_fire = float("-inf")
+
+    def _most_urgent(
+        self, view: ControlView
+    ) -> Optional[tuple["JobTicket", float]]:
+        """The queued ticket most below the urgency line, if any."""
+        best: Optional[tuple["JobTicket", float]] = None
+        for ticket in view.queued:
+            slack = view.slack_s(ticket)
+            if slack is None or slack > self.urgency_s:
+                continue
+            if slack < self.rescue_floor_s:
+                continue
+            if best is None or (slack, ticket.seq) < (best[1], best[0].seq):
+                best = (ticket, slack)
+        return best
+
+    def _eligible_victims(
+        self, view: ControlView
+    ) -> list[tuple["JobTicket", float]]:
+        """Pausable running tickets, slack-richest first.
+
+        Deadline-free runners count as infinitely slack-rich; tickets
+        inside their cooldown, past their preemption cap, or below the
+        victim floor are excluded.
+        """
+        victims: list[tuple["JobTicket", float]] = []
+        for ticket in view.running:
+            if ticket.preemptions >= self.max_preemptions:
+                continue
+            if (
+                ticket.preempted_at is not None
+                and view.now - ticket.preempted_at < self.cooldown_s
+            ):
+                continue
+            slack = view.slack_s(ticket)
+            effective = float("inf") if slack is None else slack
+            if effective < self.victim_floor_s:
+                continue
+            victims.append((ticket, effective))
+        victims.sort(key=lambda pair: (-pair[1], pair[0].seq))
+        return victims
+
+    def _decide(
+        self,
+        view: ControlView,
+        victim: "JobTicket",
+        victim_slack: float,
+        urgent: "JobTicket",
+        urgent_slack: float,
+    ) -> PreemptionDecision:
+        # Migrate only tickets that took the scheduler's *default*
+        # policy at submit: their plan has been re-pointed from under
+        # them (multi-backend re-plan).  An explicitly-submitted
+        # per-job policy is the caller's choice — never overwrite it.
+        migrate = (
+            not getattr(victim, "policy_pinned", True)
+            and bool(view.default_policy_name)
+            and getattr(victim.policy, "name", "") != view.default_policy_name
+        )
+        return PreemptionDecision(
+            victim=victim,
+            beneficiary=urgent,
+            migrate=migrate,
+            reason=(
+                f"{urgent.job.name} slack {urgent_slack:.0f}s < "
+                f"{self.urgency_s:.0f}s; {victim.job.name} slack "
+                f"{victim_slack:.0f}s"
+            ),
+        )
+
+    def _propose(self, view: ControlView) -> Optional[PreemptionDecision]:
+        """The swap this policy would make, without fire bookkeeping.
+
+        Subclasses refine this (the cost-aware policy adds its price
+        gate here); :meth:`select` owns the calibration/fire-interval
+        guards and only advances the fire clock for a decision that is
+        actually returned — a rejected proposal must not delay the
+        next evaluation.
+        """
+        found = self._most_urgent(view)
+        if found is None:
+            return None
+        urgent, urgent_slack = found
+        for victim, victim_slack in self._eligible_victims(view):
+            if victim_slack - urgent_slack < self.min_gain_s:
+                break  # sorted descending: nobody further is richer
+            return self._decide(
+                view, victim, victim_slack, urgent, urgent_slack
+            )
+        return None
+
+    def select(self, view: ControlView) -> Optional[PreemptionDecision]:
+        """Swap a slack-rich runner for the most urgent queued job."""
+        if not view.calibrated:
+            return None
+        if view.now - self._last_fire < self.fire_interval_s:
+            return None
+        decision = self._propose(view)
+        if decision is not None:
+            self._last_fire = view.now
+        return decision
+
+
+@register_preemption_policy("cost-aware")
+class CostAwarePreemption(UrgentSloPreemption):
+    """``urgent-slo`` that also prices the preemption before firing.
+
+    A preemption costs the victim its in-flight phase progress
+    (``phase_cost_s`` — redone on resume) plus a fixed
+    ``switch_overhead_s`` for checkpoint/restart bookkeeping; it buys
+    the urgent job the victim's predicted remaining runtime of queue
+    wait (``remaining_s``).  A swap only fires when the buy exceeds
+    ``cost_factor ×`` the bill — a victim that just started a long
+    shuffle is cheap to pause, one about to finish it is not.  Unlike
+    a simple post-filter on the richest victim, the gate walks the
+    eligible victims richest-first and takes the first *affordable*
+    one, so an expensive top victim does not block a cheap runner-up.
+    """
+
+    name = "cost-aware"
+
+    def __init__(
+        self,
+        cost_factor: float = 2.0,
+        switch_overhead_s: float = 10.0,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(**kwargs)  # type: ignore[arg-type]
+        self.cost_factor = cost_factor
+        self.switch_overhead_s = switch_overhead_s
+
+    def _affordable(self, view: ControlView, victim: "JobTicket") -> bool:
+        """Whether pausing ``victim`` buys more than it discards."""
+        benefit_s = view.remaining_s(victim)
+        cost_s = view.phase_cost_s(victim) + self.switch_overhead_s
+        return benefit_s >= self.cost_factor * cost_s
+
+    def _propose(self, view: ControlView) -> Optional[PreemptionDecision]:
+        """``urgent-slo`` selection gated on benefit ≥ factor × cost."""
+        found = self._most_urgent(view)
+        if found is None:
+            return None
+        urgent, urgent_slack = found
+        for victim, victim_slack in self._eligible_victims(view):
+            if victim_slack - urgent_slack < self.min_gain_s:
+                break
+            if not self._affordable(view, victim):
+                continue
+            return self._decide(
+                view, victim, victim_slack, urgent, urgent_slack
+            )
+        return None

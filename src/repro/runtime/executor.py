@@ -13,17 +13,24 @@ runs interleave on one shared :class:`~repro.sim.kernel.Simulator` —
 which is what lets the scheduler run concurrent jobs against the same
 contended WAN.
 
-Two runtime-specific twists:
+Three runtime-specific twists:
 
 * ``decision_bw`` may be a *callable* re-read at every placement
   decision — when the service re-plans mid-job, later stages of
   already-running jobs see the fresh matrix;
 * per-job WAN volume is tracked from the run's own transfers (the
-  network's global counters span all concurrent jobs).
+  network's global counters span all concurrent jobs);
+* a run can be **paused**: :meth:`JobRun.pause` cancels the in-flight
+  phase and returns a :class:`JobCheckpoint` of the completed-stage
+  state, from which a *new* run resumes later (``resume_from=``) —
+  the control plane's preemption primitive.  Work inside the
+  interrupted phase is lost and redone on resume; that lost progress
+  is exactly the preemption cost the ``cost-aware`` policy weighs.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Optional, Union
 
 from repro.gda.engine.cost import job_cost
@@ -46,6 +53,55 @@ DecisionBw = Union[
 ]
 
 
+def wan_mb_ahead(
+    stages: list[StageSpec], total_mb: float, shuffle_overhead: float
+) -> float:
+    """Projected WAN volume (MB) of pushing ``total_mb`` through ``stages``.
+
+    Each shuffle stage moves the then-current data volume (overhead
+    included) and every stage shrinks it by its ``output_ratio``.
+    Placement locality is ignored — this is the planning heuristic
+    behind :meth:`JobRun.remaining_wan_mb` and the control plane's
+    slack estimates, not an exact forecast.  The single definition
+    keeps those estimators consistent.
+    """
+    volume = 0.0
+    for stage in stages:
+        if stage.shuffle:
+            volume += total_mb * shuffle_overhead
+        total_mb *= stage.output_ratio
+    return volume
+
+
+@dataclass(frozen=True)
+class JobCheckpoint:
+    """Completed-stage state of a paused run, enough to resume from.
+
+    Captures the phase *boundary* the run last crossed: the interrupted
+    phase's entry data distribution, the metrics of every fully
+    completed stage, and the WAN/migration accounting accumulated so
+    far.  Progress inside the interrupted phase (cancelled transfers,
+    the unfinished compute timer) is deliberately absent — it is redone
+    on resume, which is the preemption cost.
+    """
+
+    #: Index of the stage the run was in when paused (the resume point).
+    stage_index: int
+    #: Whether the input-migration phase had completed; when ``False``
+    #: the resumed run re-plans migration from ``data`` — under the
+    #: *current* decision matrix, so a resume after a re-plan migrates
+    #: to the fresh view of the network.
+    migrated: bool
+    #: Data distribution (MB per DC) at the interrupted phase's entry.
+    data: dict[str, float]
+    #: Metrics of stages completed before the pause.
+    stages: tuple[StageMetrics, ...]
+    #: WAN megabits carried by *completed* transfers before the pause.
+    wan_mbits: float
+    migration_s: float
+    migration_mb: float
+
+
 class JobRun:
     """One job advancing through its stages via simulator callbacks."""
 
@@ -57,6 +113,7 @@ class JobRun:
         decision_bw: DecisionBw = None,
         shuffle_overhead: float = SHUFFLE_OVERHEAD,
         on_finish: Optional[Callable[[JobResult], None]] = None,
+        resume_from: Optional[JobCheckpoint] = None,
     ) -> None:
         if shuffle_overhead < 1.0:
             raise ValueError(
@@ -70,17 +127,72 @@ class JobRun:
         self.on_finish = on_finish
         self.result: Optional[JobResult] = None
         self.started = False
+        self.paused = False
         self.wan_mbits = 0.0
+        #: WAN volume inherited from the checkpoint (0 for fresh runs).
+        self._carried_wan_mbits = (
+            resume_from.wan_mbits if resume_from is not None else 0.0
+        )
+        self._resume = resume_from
         self._t0 = 0.0
         self._data: dict[str, float] = {}
         self._stages: list[StageMetrics] = []
         self._migration_s = 0.0
         self._migration_mb = 0.0
+        self._migrated = False
+        self._stage_index = 0
+        #: Data distribution at the current phase's entry — what a
+        #: checkpoint records, since mid-phase progress is not resumable.
+        self._entry_data: dict[str, float] = {}
+        #: Transfers currently in flight (cancelled wholesale on pause).
+        self._inflight: list = []
+        #: The pending advance event (compute timer / empty-batch hop).
+        self._pending_event = None
+        self._phase_started_s = 0.0
 
     @property
     def done(self) -> bool:
         """Whether the job has produced its result."""
         return self.result is not None
+
+    @property
+    def stage_index(self) -> int:
+        """Index of the stage currently executing."""
+        return self._stage_index
+
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds since this run started (the resumed slice only)."""
+        if not self.started:
+            return 0.0
+        return self.cluster.network.sim.now - self._t0
+
+    @property
+    def slice_wan_mbits(self) -> float:
+        """WAN megabits moved by *this* run slice (checkpoint carryover
+        excluded) — the numerator matching :attr:`elapsed_s`, so
+        throughput estimates for resumed runs stay honest."""
+        return self.wan_mbits - self._carried_wan_mbits
+
+    @property
+    def phase_elapsed_s(self) -> float:
+        """Seconds spent inside the current phase — the work a pause
+        right now would throw away."""
+        if not self.started or self.done:
+            return 0.0
+        return self.cluster.network.sim.now - self._phase_started_s
+
+    def remaining_wan_mb(self) -> float:
+        """Crude WAN volume still ahead of this run (MB).
+
+        :func:`wan_mb_ahead` over the remaining stages, seeded with
+        the current phase-entry volume.
+        """
+        return wan_mb_ahead(
+            self.job.stages[self._stage_index:],
+            sum(self._entry_data.values()),
+            self.shuffle_overhead,
+        )
 
     @property
     def wan_mb(self) -> float:
@@ -100,19 +212,45 @@ class JobRun:
     # -- state machine --------------------------------------------------
 
     def start(self) -> "JobRun":
-        """Begin executing; returns immediately, completion is async."""
+        """Begin executing; returns immediately, completion is async.
+
+        With ``resume_from`` set, execution restarts from the
+        checkpoint instead of the job's raw inputs: completed stages
+        and WAN accounting carry over, and the interrupted phase runs
+        again from its entry state (re-planned against the *current*
+        decision matrix — a resume after a service re-plan effectively
+        migrates the job to the fresh backend plan).
+        """
         if self.started:
             raise RuntimeError(f"job {self.job.name!r} already started")
         self.started = True
         sim = self.cluster.network.sim
         self._t0 = sim.now
-        self._data = {
-            dc: float(mb)
-            for dc, mb in self.job.input_mb_by_dc.items()
-            if mb > 0
-        }
-        for dc in self._data:
-            self.cluster.topology.index(dc)
+        self._phase_started_s = sim.now
+        if self._resume is not None:
+            self._data = dict(self._resume.data)
+            for dc in self._data:
+                self.cluster.topology.index(dc)
+            self._entry_data = dict(self._data)
+            self._stages = list(self._resume.stages)
+            self.wan_mbits = self._resume.wan_mbits
+            self._migration_s = self._resume.migration_s
+            self._migration_mb = self._resume.migration_mb
+            if self._resume.migrated:
+                self._migrated = True
+                self._begin_stage(self._resume.stage_index)
+                return self
+            # Interrupted during migration: fall through and re-plan
+            # the move from the checkpointed distribution.
+        else:
+            self._data = {
+                dc: float(mb)
+                for dc, mb in self.job.input_mb_by_dc.items()
+                if mb > 0
+            }
+            for dc in self._data:
+                self.cluster.topology.index(dc)
+        self._entry_data = dict(self._data)
         migration = self.policy.plan_migration(
             self._data,
             self.decision_bw(),
@@ -131,16 +269,56 @@ class JobRun:
 
         def migrated() -> None:
             """Record migration time, then enter the first stage."""
-            self._migration_s = sim.now - migration_start
+            self._migration_s += sim.now - migration_start
+            self._migrated = True
             self._begin_stage(0)
 
         self._launch(transfers, "migration", migrated)
         return self
 
+    def pause(self) -> JobCheckpoint:
+        """Stop executing and checkpoint the completed-stage state.
+
+        Cancels every in-flight transfer and the pending compute event;
+        ``on_finish`` never fires for a paused run.  The returned
+        checkpoint feeds a fresh ``JobRun(..., resume_from=...)`` —
+        this run itself is finished with.  Progress inside the
+        interrupted phase is discarded (cancelled transfer bytes are
+        not re-credited), which is the preemption cost.
+        """
+        if not self.started:
+            raise RuntimeError(f"job {self.job.name!r} never started")
+        if self.done:
+            raise RuntimeError(f"job {self.job.name!r} already finished")
+        if self.paused:
+            raise RuntimeError(f"job {self.job.name!r} already paused")
+        self.paused = True
+        network = self.cluster.network
+        for transfer in list(self._inflight):
+            network.cancel_transfer(transfer)
+        self._inflight.clear()
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        return JobCheckpoint(
+            stage_index=self._stage_index,
+            migrated=self._migrated,
+            data=dict(self._entry_data),
+            stages=tuple(self._stages),
+            wan_mbits=self.wan_mbits,
+            migration_s=self._migration_s,
+            migration_mb=self._migration_mb,
+        )
+
     def _begin_stage(self, index: int) -> None:
+        if self.paused:
+            return
         if index >= len(self.job.stages):
             self._finish()
             return
+        self._stage_index = index
+        self._entry_data = dict(self._data)
+        self._phase_started_s = self.cluster.network.sim.now
         stage = self.job.stages[index]
         metrics = StageMetrics(stage.name)
         sim = self.cluster.network.sim
@@ -201,6 +379,9 @@ class JobRun:
 
         def computed() -> None:
             """Close this stage's books and advance to the next."""
+            if self.paused:
+                return
+            self._pending_event = None
             self._stages.append(metrics)
             self._data = {
                 dc: mb * stage.output_ratio
@@ -209,7 +390,7 @@ class JobRun:
             }
             self._begin_stage(index + 1)
 
-        sim.schedule(compute_s, computed)
+        self._pending_event = sim.schedule(compute_s, computed)
 
     def _launch(
         self,
@@ -222,24 +403,36 @@ class JobRun:
         if not transfers:
             # Keep the advance asynchronous even for empty batches so
             # stage ordering is uniform (and recursion stays bounded).
-            network.sim.schedule(0.0, then)
+            def hop() -> None:
+                if self.paused:
+                    return
+                self._pending_event = None
+                then()
+
+            self._pending_event = network.sim.schedule(0.0, hop)
             return
         pending = [len(transfers)]
 
         def done(transfer) -> None:
             """Tally one finished transfer; fire ``then`` on the last."""
+            if self.paused:
+                return
             self.wan_mbits += transfer.size_mbits
+            if transfer in self._inflight:
+                self._inflight.remove(transfer)
             pending[0] -= 1
             if pending[0] == 0:
                 then()
 
         for src, dst, mb in transfers:
-            network.start_transfer(
-                src,
-                dst,
-                mb * 8.0,
-                on_complete=done,
-                tag=f"{self.job.name}:{tag}",
+            self._inflight.append(
+                network.start_transfer(
+                    src,
+                    dst,
+                    mb * 8.0,
+                    on_complete=done,
+                    tag=f"{self.job.name}:{tag}",
+                )
             )
 
     def _finish(self) -> None:

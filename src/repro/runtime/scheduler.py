@@ -20,6 +20,13 @@ hundreds of queued jobs do not trigger quadratic re-ordering churn.
 Per-job promises ride along as
 :class:`~repro.runtime.scheduling.slo.SLO` objects on each ticket.
 
+The scheduler is also the control plane's mechanism layer: a
+:class:`~repro.runtime.control.plane.ControlPlane` may
+:meth:`~JobScheduler.preempt` a running ticket (checkpointing its
+completed-stage state and handing the slot to a named beneficiary) and
+re-target the concurrency bound via
+:meth:`~JobScheduler.set_max_concurrent`.
+
 Per-job bookkeeping lives in :class:`JobTicket`; aggregate statistics
 (throughput in jobs per simulated hour, mean wait/JCT, SLO attainment,
 and a Jain fairness index over per-job achieved WAN throughput) come
@@ -37,7 +44,7 @@ from repro.gda.engine.dag import JobSpec
 from repro.gda.engine.engine import SHUFFLE_OVERHEAD, JobResult
 from repro.gda.systems.base import PlacementPolicy
 from repro.pipeline.registry import admission_policy, placement_policy
-from repro.runtime.executor import DecisionBw, JobRun
+from repro.runtime.executor import DecisionBw, JobCheckpoint, JobRun
 from repro.runtime.scheduling.policies import AdmissionPolicy, SchedulerView
 from repro.runtime.scheduling.reallocator import DEFAULT_BATCH, BatchedReallocator
 from repro.runtime.scheduling.slo import SLO, attainment, jain_index
@@ -60,7 +67,12 @@ AdmissionSpec = AdmissionPolicy | str | type
 
 @dataclass
 class JobTicket:
-    """One submission's lifecycle: queued → running → done."""
+    """One submission's lifecycle: queued → running → done.
+
+    A preempted ticket loops back: running → queued (carrying a
+    :class:`~repro.runtime.executor.JobCheckpoint`) → running again
+    when re-admitted.
+    """
 
     job: JobSpec
     policy: PlacementPolicy
@@ -74,6 +86,25 @@ class JobTicket:
     #: Submission sequence number — the admission policies' final
     #: tie-breaker, so equal-key tickets stay in arrival order.
     seq: int = 0
+    #: ``True`` when the caller passed an explicit placement policy at
+    #: submit.  A pinned policy is the user's choice and is never
+    #: overwritten by preemption-migration; only tickets that took the
+    #: scheduler's default may be re-pointed when that default moves.
+    policy_pinned: bool = False
+    #: Completed-stage state saved by the last preemption; consumed
+    #: (and cleared) when the ticket is re-admitted.
+    checkpoint: Optional[JobCheckpoint] = None
+    #: How many times this ticket has been preempted.
+    preemptions: int = 0
+    #: When the last preemption happened (thrash-guard input for
+    #: preemption policies; ``None`` = never preempted).
+    preempted_at: Optional[float] = None
+    #: When this ticket last (re-)entered the queue — feeds the
+    #: cumulative :attr:`waited_s` accounting on admission.
+    enqueued_s: float = 0.0
+    #: Total seconds spent queued across every admission (a preempted
+    #: ticket queues more than once).
+    waited_s: float = 0.0
 
     @property
     def state(self) -> str:
@@ -86,10 +117,17 @@ class JobTicket:
 
     @property
     def wait_s(self) -> float:
-        """Queueing delay before admission (0 while still queued)."""
+        """Cumulative queueing delay (0 while never yet admitted).
+
+        For a preempted-and-resumed ticket this sums *every* stint in
+        the queue — initial admission wait plus each wait between
+        preemption and resume — and never counts execution time
+        (``wait_s + execution ≤ jct_s``; the difference is work a
+        preemption discarded).
+        """
         if self.started_s is None:
             return 0.0
-        return self.started_s - self.submitted_s
+        return self.waited_s
 
     @property
     def jct_s(self) -> float:
@@ -181,6 +219,8 @@ class JobScheduler:
             submitted_s=self.sim.now,
             slo=slo if slo is not None else self.default_slo,
             seq=self._seq,
+            policy_pinned=policy is not None,
+            enqueued_s=self.sim.now,
         )
         self._seq += 1
         if self._first_submit is None:
@@ -205,21 +245,92 @@ class JobScheduler:
             # ``self.view`` is passed as a factory: the state snapshot
             # is only taken when the reallocator actually re-orders.
             ticket = self.reallocator.pop(self.queued, self.view)
-            self.queued.remove(ticket)
-            ticket.started_s = self.sim.now
-            self.running.append(ticket)
-            self.peak_concurrency = max(
-                self.peak_concurrency, len(self.running)
+            self._start(ticket)
+
+    def _start(self, ticket: JobTicket) -> None:
+        """Move one queued ticket into execution (resuming if paused)."""
+        self.queued.remove(ticket)
+        ticket.waited_s += self.sim.now - ticket.enqueued_s
+        ticket.started_s = self.sim.now
+        self.running.append(ticket)
+        self.peak_concurrency = max(
+            self.peak_concurrency, len(self.running)
+        )
+        ticket.run = JobRun(
+            self.cluster,
+            ticket.job,
+            ticket.policy,
+            decision_bw=self.decision_bw,
+            shuffle_overhead=self.shuffle_overhead,
+            on_finish=lambda result, t=ticket: self._finished(t, result),
+            resume_from=ticket.checkpoint,
+        )
+        ticket.checkpoint = None
+        ticket.run.start()
+
+    # -- preemption (control-plane surface) -----------------------------
+
+    def preempt(
+        self,
+        victim: JobTicket,
+        beneficiary: Optional[JobTicket] = None,
+        migrate: bool = False,
+    ) -> JobCheckpoint:
+        """Pause ``victim`` mid-run and hand its slot to ``beneficiary``.
+
+        The victim's run is checkpointed (completed stages survive, the
+        interrupted phase is redone on resume) and the ticket goes back
+        on the admission queue.  ``beneficiary`` — when given — is
+        started *directly*, bypassing the admission order: the
+        preemption policy already decided who the slot is for, and
+        under FIFO the victim would otherwise win its own slot back
+        immediately (it is the oldest queued ticket).  With
+        ``migrate=True`` the victim's placement policy is re-resolved
+        from the scheduler's current ``default_policy`` before resume —
+        the migration path a multi-backend re-plan steers.
+        """
+        if victim not in self.running:
+            raise ValueError(f"ticket {victim.job.name!r} is not running")
+        if beneficiary is not None and beneficiary not in self.queued:
+            raise ValueError(
+                f"ticket {beneficiary.job.name!r} is not queued"
             )
-            ticket.run = JobRun(
-                self.cluster,
-                ticket.job,
-                ticket.policy,
-                decision_bw=self.decision_bw,
-                shuffle_overhead=self.shuffle_overhead,
-                on_finish=lambda result, t=ticket: self._finished(t, result),
-            )
-            ticket.run.start()
+        checkpoint = victim.run.pause()
+        victim.checkpoint = checkpoint
+        victim.run = None
+        victim.started_s = None
+        victim.preemptions += 1
+        victim.preempted_at = self.sim.now
+        victim.enqueued_s = self.sim.now
+        if migrate:
+            victim.policy = placement_policy(self.default_policy)
+        self.running.remove(victim)
+        # Front of the queue, not the back: preemption means "pause A,
+        # run B, resume A at the next free slot" — under FIFO a
+        # back-queued victim would instead wait out every later
+        # arrival, converting one near-certain hit into a miss.
+        # Non-FIFO admission policies re-order the whole queue anyway.
+        self.queued.appendleft(victim)
+        # The cached admission order may still reference the victim as
+        # admitted; force a re-ordering before the next policy pop.
+        self.reallocator.invalidate()
+        if beneficiary is not None:
+            self._start(beneficiary)
+        else:
+            self._admit()
+        return checkpoint
+
+    def set_max_concurrent(self, value: int) -> None:
+        """Re-target the concurrency bound (the autoscaler's knob).
+
+        Raising it admits queued jobs immediately; lowering it drains
+        naturally — running jobs are never preempted by a scale-down,
+        the bound just stops back-filling freed slots.
+        """
+        if value < 1:
+            raise ValueError(f"max_concurrent must be ≥ 1: {value}")
+        self.max_concurrent = value
+        self._admit()
 
     def _finished(self, ticket: JobTicket, result: JobResult) -> None:
         ticket.result = result
@@ -254,8 +365,19 @@ class JobScheduler:
         """Aggregate completion statistics for the run so far.
 
         Safe at any point in a run: before the first completion (even
-        with jobs queued or running) every metric is its zero value and
-        nothing divides by the empty completion count.
+        with jobs queued or running) the :data:`ZERO_STATS` mapping is
+        returned wholesale and nothing divides by the empty completion
+        count — note the *ratio* metrics' zero values are 1.0
+        (``fairness``, ``slo_attainment``: nothing has been unfair or
+        broken yet), while the counters and averages are 0.0.
+
+        Control-plane activity is visible here only indirectly (a
+        preempted-and-resumed job's ``wait_s`` includes its re-queue
+        time); the explicit counters — ``preemptions``, ``migrations``,
+        ``throttle_moves``, ``concurrency_high_water`` — live on
+        :class:`~repro.runtime.service.ServiceSummary`, which merges
+        this dict with the
+        :class:`~repro.runtime.control.plane.ControlPlane` stats.
         """
         done = self.completed
         if not done or self._first_submit is None:

@@ -22,6 +22,13 @@ admits and executes jobs:
 ``online=False`` freezes the loop after the initial plan — the static
 baseline the online-vs-static experiment compares against.
 
+When the config enables any control-plane feature (``preemption``
+other than ``"none"``, ``governor``, or ``autoscale``) the service
+also runs a :class:`~repro.runtime.control.plane.ControlPlane` tick
+alongside the drift watcher: preempting slack-rich runs for
+deadline-critical queued jobs, shifting WAN share between running
+jobs, and autoscaling ``max_concurrent`` — see docs/OPERATIONS.md.
+
 Training uses the *base* weather (normal conditions); the cluster runs
 the *scenario* weather.  The divergence between the two is precisely
 what the drift detector exists to catch.
@@ -47,6 +54,7 @@ from repro.net.profiles import network_profile
 from repro.pipeline.config import ServiceConfig
 from repro.pipeline.core import Pipeline
 from repro.pipeline.deploy import Deployment
+from repro.runtime.control.plane import ControlPlane
 from repro.runtime.drift import DriftDetector, ReplanEvent
 from repro.runtime.scenarios import scenario
 from repro.runtime.scheduler import JobScheduler, JobTicket, PolicySpec
@@ -68,7 +76,16 @@ __all__ = [
 
 @dataclass
 class ServiceSummary:
-    """What a service run produced, for tables and assertions."""
+    """What a service run produced, for tables and assertions.
+
+    Built from :meth:`JobScheduler.stats
+    <repro.runtime.scheduler.JobScheduler.stats>` plus the gauger's
+    ledger, the re-plan log, and the control plane's counters.  Safe
+    to take mid-run: before anything completes the stats side reports
+    its zero values — counters and averages 0.0, but the *ratio*
+    metrics (``fairness``, ``slo_attainment``) 1.0, since nothing has
+    yet been unfair or broken.
+    """
 
     completed: int
     mean_wait_s: float
@@ -98,6 +115,20 @@ class ServiceSummary:
     replan_probe_transfers: int = 0
     replan_probe_gb: float = 0.0
     replan_cost_usd: float = 0.0
+    #: Control-plane interventions (all zero when the control plane is
+    #: disabled — the default).  ``preemptions`` counts slot swaps
+    #: executed by the configured preemption policy; ``migrations`` the
+    #: subset whose victim resumed under a re-resolved placement
+    #: policy; ``throttle_moves`` / ``throttle_releases`` the
+    #: governor's cap ledger (equal once a run has drained — the
+    #: no-leaked-throttles invariant).
+    preemptions: int = 0
+    migrations: int = 0
+    throttle_moves: int = 0
+    throttle_releases: int = 0
+    #: Highest concurrency reached: the autoscaler's high-water bound
+    #: when autoscaling, otherwise the scheduler's achieved peak.
+    concurrency_high_water: int = 0
     events: list[ReplanEvent] = field(default_factory=list)
 
     def to_row(self) -> dict[str, float]:
@@ -120,6 +151,11 @@ class ServiceSummary:
             "replan_probe_transfers": float(self.replan_probe_transfers),
             "replan_probe_gb": self.replan_probe_gb,
             "replan_cost_usd": self.replan_cost_usd,
+            "preemptions": float(self.preemptions),
+            "migrations": float(self.migrations),
+            "throttle_moves": float(self.throttle_moves),
+            "throttle_releases": float(self.throttle_releases),
+            "concurrency_high_water": float(self.concurrency_high_water),
         }
 
 
@@ -165,6 +201,7 @@ class PipelineService:
         self.predicted: Optional[BandwidthMatrix] = None
         self.deployment: Optional[Deployment] = None
         self.detector: Optional[DriftDetector] = None
+        self.control: Optional[ControlPlane] = None
         self.replans: list[ReplanEvent] = []
         self._drift_process: Optional[Process] = None
         self._started = False
@@ -264,6 +301,18 @@ class PipelineService:
                 start_delay=self.config.check_interval_s,
                 priority=5,
             )
+        # The control plane only exists when asked for: a default
+        # config changes nothing about existing runs.
+        if (
+            self.config.preemption != "none"
+            or self.config.governor
+            or self.config.autoscale
+        ):
+            self.control = ControlPlane(
+                self.scheduler,
+                self.config,
+                predicted_bw=lambda: self.predicted,
+            )
 
     def _gauge(self) -> BandwidthMatrix:
         """Snapshot the *live* network weather and predict runtime BWs.
@@ -341,6 +390,10 @@ class PipelineService:
         event, and counts against ``replan_budget_usd``.
         """
         self._teardown()
+        if self.control is not None:
+            # Teardown wiped the TC table; the governor's held caps
+            # are gone with it and must be retired, not restored.
+            self.control.on_replan()
         gauger = self.pipeline.gauger
         before = (
             int(getattr(gauger, "probe_transfers", 0)),
@@ -360,7 +413,11 @@ class PipelineService:
         )
 
     def stop(self) -> None:
-        """Stop agents and the watcher (queued jobs stay queued)."""
+        """Stop agents, control plane, and watcher (queued jobs stay)."""
+        if self.control is not None:
+            # Release governor caps *before* teardown so each restores
+            # the limit it actually replaced.
+            self.control.close()
         self._teardown()
         if self._drift_process is not None:
             self._drift_process.stop()
@@ -448,6 +505,27 @@ class PipelineService:
             ),
             replan_probe_gb=sum(event.probe_gb for event in self.replans),
             replan_cost_usd=self.replan_spent_usd,
+            preemptions=(
+                self.control.preemptions if self.control is not None else 0
+            ),
+            migrations=(
+                self.control.migrations if self.control is not None else 0
+            ),
+            throttle_moves=(
+                self.control.throttle_moves
+                if self.control is not None
+                else 0
+            ),
+            throttle_releases=(
+                self.control.throttle_releases
+                if self.control is not None
+                else 0
+            ),
+            concurrency_high_water=(
+                self.control.concurrency_high_water
+                if self.control is not None
+                else self.scheduler.peak_concurrency
+            ),
             events=list(self.replans),
         )
 

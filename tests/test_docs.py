@@ -63,3 +63,40 @@ class TestDocsHealth:
         failures: list[str] = []
         check_docs.check_code_blocks(page, failures)
         assert failures and "does not compile" in failures[0]
+
+    def test_config_coverage_passes_on_shipped_operations_doc(
+        self, check_docs
+    ):
+        failures: list[str] = []
+        sys.path.insert(0, str(REPO / "src"))
+        try:
+            checked = check_docs.check_config_coverage(failures)
+        finally:
+            sys.path.remove(str(REPO / "src"))
+        assert checked > 30  # PipelineConfig ∪ ServiceConfig fields
+        assert failures == []
+
+    def test_config_coverage_catches_undocumented_field(
+        self, check_docs, monkeypatch
+    ):
+        """An OPERATIONS.md missing a config field fails the job."""
+        operations = (REPO / "docs" / "OPERATIONS.md").read_text()
+        assert "`drift_threshold`" in operations
+        stripped = operations.replace("`drift_threshold`", "`gone`")
+        sys.path.insert(0, str(REPO / "src"))
+        try:
+            import pathlib
+
+            original = pathlib.Path.read_text
+
+            def patched(self, *args, **kwargs):
+                if self.name == "OPERATIONS.md":
+                    return stripped
+                return original(self, *args, **kwargs)
+
+            monkeypatch.setattr(pathlib.Path, "read_text", patched)
+            failures: list[str] = []
+            check_docs.check_config_coverage(failures)
+        finally:
+            sys.path.remove(str(REPO / "src"))
+        assert any("drift_threshold" in f for f in failures)
