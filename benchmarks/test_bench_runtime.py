@@ -1,20 +1,31 @@
-"""Bench E-ORP + raw scheduler throughput.
+"""Bench E-ORP + raw scheduler throughput + the BENCH_runtime report.
 
-Two baselines future PRs can regress against:
+Baselines future PRs can regress against:
 
 * the online-vs-static re-planning experiment (wall-clock of the full
-  sweep plus the speedup/replan assertions), and
+  sweep plus the speedup/replan assertions),
 * raw multi-job scheduler throughput — how many jobs per simulated hour
   the admission queue pushes through a contended 4-DC substrate, and
-  how much wall-clock the event-driven executor spends doing it.
+  how much wall-clock the event-driven executor spends doing it, and
+* ``test_runtime_bench_report``, which writes ``BENCH_runtime.json`` at
+  the repo root (jobs/sec, re-plan latency, metrics-log ingest
+  overhead %) for ``scripts/check_bench.py`` to diff against the
+  committed ``benchmarks/BENCH_runtime_baseline.json``.
 """
+
+import json
+import time
+from pathlib import Path
 
 from repro.experiments import online_replanning
 from repro.gda.engine.cluster import GeoCluster
 from repro.gda.systems.tetrium import TetriumPolicy
 from repro.gda.workloads.terasort import terasort_job
 from repro.net.dynamics import FluctuationModel
+from repro.runtime.drift import ReplanEvent
+from repro.runtime.observability import MetricsLog
 from repro.runtime.scheduler import JobScheduler
+from repro.runtime.service import PipelineService, ServiceConfig, default_job_mix
 
 REGIONS = ("us-east-1", "us-west-1", "eu-west-1", "ap-southeast-1")
 N_JOBS = 12
@@ -62,3 +73,109 @@ def test_scheduler_throughput(benchmark, capsys):
     assert stats["completed"] == N_JOBS
     assert scheduler.peak_concurrency == 3
     assert stats["jobs_per_hour"] > 10.0
+
+
+# ----------------------------------------------------------------------
+# The BENCH_runtime.json report
+# ----------------------------------------------------------------------
+
+#: Monitor ticks per metrics-log micro-benchmark round.
+_LOG_ROUNDS = 20_000
+
+#: The hard ceiling the tentpole promises: warehousing every sample
+#: must stay below this share of a run's wall-clock.
+MAX_LOG_OVERHEAD_PCT = 5.0
+
+
+def _metrics_log_ns_per_sample() -> float:
+    """Wall nanoseconds one ``MetricsLog.record`` destination costs.
+
+    The ingest path is a bare list append; measuring it in isolation
+    (rather than diffing two whole runs) keeps the number stable enough
+    to regress against.
+    """
+    log = MetricsLog()
+    rates = {f"dc-{i}": float(i) for i in range(7)}
+    start = time.perf_counter()
+    for tick in range(_LOG_ROUNDS):
+        log.record("src", float(tick), rates)
+    elapsed = time.perf_counter() - start
+    return elapsed * 1e9 / (_LOG_ROUNDS * len(rates))
+
+
+def _timed_service_run() -> tuple[dict, float]:
+    """One observed service run: (summary row, wall seconds)."""
+    config = ServiceConfig(
+        regions=REGIONS,
+        n_training_datasets=6,
+        n_estimators=6,
+        scenario="link-failure",
+    )
+    start = time.perf_counter()
+    service = PipelineService.build(config)
+    mix = default_job_mix(REGIONS, count=6, seed=42, scale_mb=3000.0)
+    service.submit_mix(mix)
+    service.run(until=None)
+    service.stop()
+    wall_s = time.perf_counter() - start
+    row = service.summary().to_row()
+    row["log_entries"] = service.hub.log.size
+    return row, wall_s
+
+
+def _replan_latency_ms(rounds: int = 5) -> float:
+    """Mean wall milliseconds of one forced mid-job re-plan."""
+    config = ServiceConfig(
+        regions=REGIONS, n_training_datasets=6, n_estimators=6
+    )
+    service = PipelineService.build(config)
+    event = ReplanEvent(
+        time=0.0,
+        src=REGIONS[0],
+        dst=REGIONS[1],
+        observed_mbps=50.0,
+        predicted_mbps=200.0,
+        rel_error=0.75,
+    )
+    start = time.perf_counter()
+    for _ in range(rounds):
+        service.replan(event)
+    elapsed = time.perf_counter() - start
+    service.stop()
+    return elapsed * 1e3 / rounds
+
+
+def test_runtime_bench_report(capsys):
+    """Write BENCH_runtime.json and pin the metrics-log overhead < 5%."""
+    row, wall_s = _timed_service_run()
+    ns_per_sample = _metrics_log_ns_per_sample()
+    # The run-level ingest overhead: per-sample warehouse cost times the
+    # samples this run actually warehoused, against its wall-clock.
+    overhead_pct = (
+        100.0 * row["log_entries"] * ns_per_sample * 1e-9 / wall_s
+    )
+    replan_ms = _replan_latency_ms()
+    report = {
+        "completed_jobs": row["completed"],
+        "jobs_per_wall_s": row["completed"] / wall_s,
+        "service_wall_s": wall_s,
+        "replan_latency_ms": replan_ms,
+        "metrics_log_ns_per_sample": ns_per_sample,
+        "metrics_log_entries": row["log_entries"],
+        "rollup_rows": row["rollup_rows"],
+        "events_traced": row["events_traced"],
+        "metrics_log_overhead_pct": overhead_pct,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    with capsys.disabled():
+        print()
+        print(
+            f"runtime bench: {report['jobs_per_wall_s']:.1f} jobs/wall-s, "
+            f"re-plan {replan_ms:.1f} ms, metrics-log "
+            f"{ns_per_sample:.0f} ns/sample "
+            f"({overhead_pct:.3f}% of the run) → {path.name}"
+        )
+    assert row["completed"] == 6
+    assert row["rollup_rows"] > 0 and row["events_traced"] > 0
+    assert overhead_pct < MAX_LOG_OVERHEAD_PCT

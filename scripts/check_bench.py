@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Diff BENCH_runtime.json against the committed baseline.
+
+CI runs the runtime benchmark (``pytest
+benchmarks/test_bench_runtime.py::test_runtime_bench_report``), which
+writes ``BENCH_runtime.json`` at the repo root, then runs this script
+to flag regressions against ``benchmarks/BENCH_runtime_baseline.json``.
+
+Metrics fall into two classes:
+
+* **deterministic** — counts the simulation fully determines
+  (completed jobs, warehouse entries, rollup rows, traced events).
+  Any drift beyond ``--tolerance`` (default 20 %) fails the check: the
+  run itself changed, not the machine.
+* **wall-clock** — throughput and latency numbers that vary with the
+  host.  These are flagged at ``--wall-tolerance`` (default 150 %),
+  loose enough for shared CI runners but still a backstop against a
+  pathological slowdown.
+
+The metrics-log overhead additionally has a hard absolute ceiling
+(5 % of the run), mirroring the assertion inside the benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Deterministic metrics and their direction (``0`` = either way is a
+#: change worth flagging).
+DETERMINISTIC = (
+    "completed_jobs",
+    "metrics_log_entries",
+    "rollup_rows",
+    "events_traced",
+)
+
+#: Wall-clock metrics: name → +1 when higher is better, -1 when lower.
+WALL_CLOCK = {
+    "jobs_per_wall_s": +1,
+    "service_wall_s": -1,
+    "replan_latency_ms": -1,
+    "metrics_log_ns_per_sample": -1,
+    "metrics_log_overhead_pct": -1,
+}
+
+#: Hard absolute ceiling for the warehouse ingest overhead (percent).
+MAX_LOG_OVERHEAD_PCT = 5.0
+
+
+def _change_pct(current: float, baseline: float) -> float:
+    """Signed percent change from baseline (0 baseline → 0 or inf)."""
+    if baseline == 0.0:
+        return 0.0 if current == 0.0 else float("inf")
+    return 100.0 * (current - baseline) / baseline
+
+
+def check(
+    current: dict, baseline: dict, tolerance: float, wall_tolerance: float
+) -> list[str]:
+    """Every failed comparison as a printable complaint."""
+    complaints = []
+    for name in DETERMINISTIC:
+        if name not in baseline:
+            continue
+        change = _change_pct(
+            float(current.get(name, 0.0)), float(baseline[name])
+        )
+        if abs(change) > tolerance:
+            complaints.append(
+                f"{name}: {current.get(name)} vs baseline "
+                f"{baseline[name]} ({change:+.1f}% > ±{tolerance:.0f}%)"
+            )
+    for name, direction in WALL_CLOCK.items():
+        if name not in baseline:
+            continue
+        change = _change_pct(
+            float(current.get(name, 0.0)), float(baseline[name])
+        )
+        # A regression is the metric moving *against* its direction.
+        regression = -change if direction > 0 else change
+        if regression > wall_tolerance:
+            complaints.append(
+                f"{name}: {current.get(name):.4g} vs baseline "
+                f"{float(baseline[name]):.4g} "
+                f"({regression:+.1f}% worse > {wall_tolerance:.0f}%)"
+            )
+    overhead = float(current.get("metrics_log_overhead_pct", 0.0))
+    if overhead >= MAX_LOG_OVERHEAD_PCT:
+        complaints.append(
+            f"metrics_log_overhead_pct: {overhead:.2f} breaches the "
+            f"hard {MAX_LOG_OVERHEAD_PCT}% ceiling"
+        )
+    return complaints
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--current",
+        default=REPO / "BENCH_runtime.json",
+        type=Path,
+        help="report written by the runtime benchmark",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=REPO / "benchmarks" / "BENCH_runtime_baseline.json",
+        type=Path,
+        help="committed baseline to diff against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=20.0,
+        help="percent drift allowed on deterministic metrics",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=150.0,
+        help="percent regression allowed on wall-clock metrics",
+    )
+    args = parser.parse_args(argv)
+    try:
+        current = json.loads(args.current.read_text())
+        baseline = json.loads(args.baseline.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"check_bench: cannot load reports: {exc}")
+        return 2
+    complaints = check(
+        current, baseline, args.tolerance, args.wall_tolerance
+    )
+    if complaints:
+        print("benchmark regression check FAILED:")
+        for complaint in complaints:
+            print(f"  - {complaint}")
+        return 1
+    print(
+        f"benchmark regression check passed "
+        f"({len(DETERMINISTIC)} deterministic + {len(WALL_CLOCK)} "
+        f"wall-clock metrics within tolerance)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -164,11 +164,58 @@ def cmd_run(args: argparse.Namespace, out: IO[str]) -> int:
 
 
 def cmd_report(args: argparse.Namespace, out: IO[str]) -> int:
-    """Regenerate EXPERIMENTS.md (all experiments)."""
+    """Regenerate EXPERIMENTS.md, or emit KPIs for a recorded run.
+
+    Without ``--run`` this is the legacy behavior (re-run every
+    experiment and rewrite EXPERIMENTS.md).  With ``--run FILE`` it
+    instead reads a recorded service run (``serve --record``) and
+    writes the operator KPI report — congestion hot-spots, SLO
+    attainment by tenant, failover quality, probe cost — as
+    ``kpi.json`` + ``kpi.md``; ``--trace`` adds the reconstructed
+    event timeline.
+    """
+    if args.run_file is not None:
+        return _kpi_report(args, out)
+    if args.trace:
+        out.write("--trace needs --run FILE (a recorded service run)\n")
+        return 2
     from repro.experiments.report import generate
 
     path = generate(args.output)
     out.write(f"wrote {path}\n")
+    return 0
+
+
+def _kpi_report(args: argparse.Namespace, out: IO[str]) -> int:
+    """The ``report --run`` path: recorded run → operator KPI tables."""
+    from repro.runtime.observability import (
+        KpiReport,
+        load_run,
+        write_kpi_report,
+    )
+
+    try:
+        run = load_run(args.run_file)
+    except (OSError, ValueError, KeyError) as exc:
+        out.write(f"bad recorded run {args.run_file!r}: {exc}\n")
+        return 2
+    report = KpiReport.from_run(run)
+    timeline = run.timeline() if args.trace else None
+    # `-o` doubles as the report directory here; the EXPERIMENTS.md
+    # default belongs to the legacy mode, so swap it for a KPI dir.
+    output = (
+        args.output if args.output != "EXPERIMENTS.md" else "kpi-report"
+    )
+    json_path, md_path = write_kpi_report(report, output, timeline=timeline)
+    out.write(report.render_markdown())
+    if timeline is not None:
+        out.write("\n## Event timeline\n\n" + timeline)
+        if run.events_dropped:
+            out.write(
+                f"({run.events_dropped} earlier events evicted by the "
+                f"trace ring)\n"
+            )
+    out.write(f"\nwrote {json_path} and {md_path}\n")
     return 0
 
 
@@ -366,9 +413,19 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
         out.write(f"--scale-mb must be positive (got {args.scale_mb})\n")
         return 2
 
-    def run_once(online: bool) -> PipelineService:
+    def run_once(online: bool, metrics: bool = False) -> PipelineService:
         config = dataclasses.replace(base_config, online=online)
         service = PipelineService.build(config)
+        if (
+            metrics
+            and service.hub is not None
+            and config.metrics_port is not None
+        ):
+            endpoint = service.hub.serve_metrics(config.metrics_port)
+            out.write(f"metrics: {endpoint.url}\n")
+            flush = getattr(out, "flush", None)
+            if flush is not None:
+                flush()
         mix = default_job_mix(
             keys,
             count=args.jobs,
@@ -390,7 +447,9 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
         f"serving {args.jobs} jobs on {len(keys)} DCs, scenario "
         f"{base_config.scenario!r}, {mode} (seed {base_config.seed})\n\n"
     )
-    primary = run_once(online=primary_online)
+    # Only the primary run owns the /metrics endpoint — a comparison
+    # run binding the same port would clash.
+    primary = run_once(online=primary_online, metrics=True)
     _render_service(primary, out)
     if args.compare:
         # The comparison run is always the *opposite* mode, so
@@ -412,6 +471,32 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
                 f"\nonline/static total-JCT speedup: "
                 f"{static_total / online_total:.2f}x\n"
             )
+    if args.record_file is not None:
+        if primary.hub is None:
+            out.write(
+                "cannot record the run: observability is disabled "
+                "(--record needs the telemetry warehouse)\n"
+            )
+            return 2
+        from repro.runtime.observability import write_run
+
+        path = write_run(primary, args.record_file)
+        out.write(f"recorded run → {path}\n")
+    if (
+        args.metrics_linger > 0
+        and primary.hub is not None
+        and primary.hub.endpoint is not None
+    ):
+        out.write(
+            f"metrics endpoint lingering {args.metrics_linger:g}s "
+            f"for scrapes…\n"
+        )
+        flush = getattr(out, "flush", None)
+        if flush is not None:
+            flush()
+        time.sleep(args.metrics_linger)
+    if primary.hub is not None:
+        primary.hub.close()
     return 0
 
 
@@ -483,9 +568,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper-scale model (slower; default uses fast settings)",
     )
 
-    p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_report = sub.add_parser(
+        "report",
+        help="regenerate EXPERIMENTS.md, or (--run) emit operator KPIs "
+        "for a recorded service run",
+    )
     p_report.add_argument(
-        "-o", "--output", default="EXPERIMENTS.md", help="output path"
+        "-o",
+        "--output",
+        default="EXPERIMENTS.md",
+        help="output path (with --run: the KPI report directory; "
+        "default kpi-report)",
+    )
+    p_report.add_argument(
+        "--run",
+        dest="run_file",
+        metavar="FILE",
+        default=None,
+        help="recorded run (from `serve --record`) → write kpi.json + "
+        "kpi.md instead of EXPERIMENTS.md",
+    )
+    p_report.add_argument(
+        "--trace",
+        action="store_true",
+        help="with --run: append the reconstructed event timeline",
     )
 
     p_topo = sub.add_parser("topology", help="inspect a cluster topology")
@@ -547,6 +653,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare",
         action="store_true",
         help="also run the static baseline and print the speedup",
+    )
+    p_serve.add_argument(
+        "--record",
+        dest="record_file",
+        metavar="FILE",
+        default=None,
+        help="write the primary run (summary, rollups, event trace) "
+        "as JSON for `report --run`",
+    )
+    p_serve.add_argument(
+        "--metrics-linger",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="keep the /metrics endpoint up this many wall-clock "
+        "seconds after the run (with --metrics-port)",
     )
     SERVE_CONFIG.install(p_serve)
 

@@ -117,6 +117,9 @@ METRIC_COLUMNS: tuple[str, ...] = (
     "preemptions",
     "throttle_moves",
     "concurrency_high_water",
+    "rollup_rows",
+    "events_traced",
+    "metrics_scrapes",
 )
 
 

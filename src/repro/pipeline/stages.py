@@ -24,7 +24,7 @@ implementations live in :mod:`repro.pipeline.alternates`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Optional, Protocol, runtime_checkable
 
 from repro.core.analyzer import BandwidthAnalyzer
 from repro.core.globalopt import GlobalPlan, optimize_connections
@@ -152,18 +152,26 @@ class GaugeLedger:
 
     def __init__(self) -> None:
         self.events: list[GaugeEvent] = []
+        #: Observability hook: called with each appended
+        #: :class:`GaugeEvent`.  Observation-only.
+        self.on_gauge: Optional[Callable[[GaugeEvent], None]] = None
 
     def log_gauge(self, report: MeasurementReport, transfers: int) -> MeasurementReport:
         """Append one accounting entry for ``report``; returns it."""
-        self.events.append(
-            GaugeEvent(
-                time=report.time,
-                mode=report.mode,
-                transfers=transfers,
-                gigabytes=report.cost.gigabytes,
-                dollars=report.cost.dollars,
-            )
+        event = GaugeEvent(
+            time=report.time,
+            mode=report.mode,
+            transfers=transfers,
+            gigabytes=report.cost.gigabytes,
+            dollars=report.cost.dollars,
         )
+        self.events.append(event)
+        # getattr, not a bare attribute read: a registered gauger that
+        # mixes the ledger in without calling this ``__init__`` still
+        # gauges fine, it just cannot be observed.
+        hook = getattr(self, "on_gauge", None)
+        if hook is not None:
+            hook(event)
         return report
 
     @property

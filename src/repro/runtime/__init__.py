@@ -30,6 +30,11 @@ service on the deterministic :mod:`repro.sim` kernel:
 * :mod:`repro.runtime.executor` — the event-driven (non-blocking) job
   runner the scheduler uses to interleave jobs on one simulator, with
   pause/resume checkpointing for preemption;
+* :mod:`repro.runtime.observability` — the telemetry warehouse
+  (:class:`MetricsLog` + time-grain rollups), the ring-buffered
+  :class:`EventTrace`, operator :class:`KpiReport` tables over
+  recorded runs, and a Prometheus-text ``/metrics`` surface, wired
+  through every component by the :class:`ObservabilityHub`;
 * :mod:`repro.runtime.scenarios` — named bandwidth-dynamics scenarios
   (diurnal swing, flash crowd, link degradation/failure, step drop)
   pluggable into :class:`~repro.net.simulator.NetworkSimulator`;
@@ -61,6 +66,14 @@ from repro.runtime.control import (
 )
 from repro.runtime.drift import DriftDetector, ReplanEvent
 from repro.runtime.executor import JobCheckpoint, JobRun
+from repro.runtime.observability import (
+    EventTrace,
+    KpiReport,
+    MetricsLog,
+    ObservabilityHub,
+    RollupRow,
+    TraceEvent,
+)
 from repro.runtime.scenarios import (
     SCENARIOS,
     ComposedScenario,
@@ -100,7 +113,13 @@ __all__ = [
     "ControlView",
     "DiurnalSwing",
     "DriftDetector",
+    "EventTrace",
     "FlashCrowd",
+    "KpiReport",
+    "MetricsLog",
+    "ObservabilityHub",
+    "RollupRow",
+    "TraceEvent",
     "JobCheckpoint",
     "JobRun",
     "PreemptionDecision",

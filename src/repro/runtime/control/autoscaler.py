@@ -17,7 +17,7 @@ admits on the spot).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Optional
 
 if TYPE_CHECKING:
     from repro.runtime.scheduler import JobScheduler
@@ -49,6 +49,9 @@ class ConcurrencyAutoscaler:
         #: Highest bound ever set — `ServiceSummary.concurrency_high_water`
         #: reads the max of this and the achieved peak.
         self.high_water = scheduler.max_concurrent
+        #: Observability hook: ``("up" | "down", new_bound)`` on every
+        #: adjustment.  Observation-only.
+        self.on_scale: Optional[Callable[[str, int], None]] = None
 
     def tick(self, now: float, urgent_queued: bool) -> None:
         """One control-loop step: at most one bound adjustment."""
@@ -62,8 +65,12 @@ class ConcurrencyAutoscaler:
             scheduler.set_max_concurrent(scheduler.max_concurrent + 1)
             self.scale_ups += 1
             self.high_water = max(self.high_water, scheduler.max_concurrent)
+            if self.on_scale is not None:
+                self.on_scale("up", scheduler.max_concurrent)
         elif depth == 0 and scheduler.max_concurrent > self.floor:
             # Lazy drain: no admission happens on a lowered bound, so
             # plain assignment (not set_max_concurrent) is deliberate.
             scheduler.max_concurrent -= 1
             self.scale_downs += 1
+            if self.on_scale is not None:
+                self.on_scale("down", scheduler.max_concurrent)

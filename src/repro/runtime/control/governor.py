@@ -63,6 +63,12 @@ class BandwidthGovernor:
         self.floor_mbps = floor_mbps
         #: pair → the limit in force before our cap (``None`` = none).
         self.held: dict[tuple[str, str], Optional[float]] = {}
+        #: Observability hook: ``("apply" | "release", pair, cap_mbps)``
+        #: on every cap move (``cap_mbps`` is 0 for releases).
+        #: Observation-only — must not touch governor or TC state.
+        self.on_cap: Optional[
+            Callable[[str, tuple[str, str], float], None]
+        ] = None
         #: pair → the rich jobs whose transfers justified the cap.
         self._owners: dict[tuple[str, str], frozenset[str]] = {}
         #: Caps applied over the governor's lifetime.
@@ -134,6 +140,8 @@ class BandwidthGovernor:
             self.network.tc.set_limit(*pair, cap)
             self.throttle_moves += 1
             applied += 1
+            if self.on_cap is not None:
+                self.on_cap("apply", pair, cap)
         return applied
 
     # -- releases --------------------------------------------------------
@@ -146,6 +154,8 @@ class BandwidthGovernor:
         else:
             self.network.tc.set_limit(*pair, previous)
         self.throttle_releases += 1
+        if self.on_cap is not None:
+            self.on_cap("release", pair, 0.0)
 
     def release_job(self, job_name: str) -> None:
         """Release every cap the named job's transfers justified.
@@ -170,7 +180,10 @@ class BandwidthGovernor:
         the fresh plan — the records are simply retired, still counted
         as releases so the apply/release ledger stays balanced.
         """
-        retired = len(self.held)
+        retired = list(self.held)
         self.held.clear()
         self._owners.clear()
-        self.throttle_releases += retired
+        self.throttle_releases += len(retired)
+        if self.on_cap is not None:
+            for pair in retired:
+                self.on_cap("release", pair, 0.0)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.net.matrix import BandwidthMatrix
 from repro.runtime.telemetry import TelemetryStore
@@ -113,6 +114,9 @@ class DriftDetector:
     #: flips once (100-k)% of the window post-dates the drop, so p90
     #: would lag by ~0.9 windows while p50 reacts in half a window.
     percentile: float = 50.0
+    #: Observability hook: called with each fired event, after it is
+    #: appended to :attr:`events` and before the caller sees it.
+    on_fire: Optional[Callable[[ReplanEvent], None]] = None
     events: list[ReplanEvent] = field(default_factory=list)
     _last_fire: float = field(default=float("-inf"), init=False)
 
@@ -156,6 +160,8 @@ class DriftDetector:
         if worst is not None:
             self.events.append(worst)
             self._last_fire = now
+            if self.on_fire is not None:
+                self.on_fire(worst)
         return worst
 
     def rebase(self, predicted: BandwidthMatrix, now: float) -> None:

@@ -1,0 +1,81 @@
+"""Observability for the runtime service: warehouse, trace, KPIs, metrics.
+
+Four cooperating layers, each usable alone:
+
+* :mod:`~repro.runtime.observability.warehouse` — the append-only
+  :class:`MetricsLog` and its time-grain :class:`RollupRow` aggregates;
+* :mod:`~repro.runtime.observability.trace` — the ring-buffered
+  :class:`EventTrace` of control-loop decisions;
+* :mod:`~repro.runtime.observability.prometheus` — dependency-free
+  Prometheus text exposition (registry, parser, HTTP endpoint);
+* :mod:`~repro.runtime.observability.kpi` — recorded-run files and the
+  operator :class:`KpiReport` (congestion, tenant SLOs, failover,
+  probe cost);
+
+tied together by :class:`~repro.runtime.observability.hub
+.ObservabilityHub`, which a :class:`~repro.runtime.service
+.PipelineService` wires through every component when
+``ServiceConfig.observability`` is on (the default).
+"""
+
+from repro.runtime.observability.hub import (
+    REQUIRED_METRIC_FAMILIES,
+    ObservabilityHub,
+)
+from repro.runtime.observability.kpi import (
+    KpiReport,
+    RecordedRun,
+    load_run,
+    snapshot_run,
+    write_kpi_report,
+    write_run,
+)
+from repro.runtime.observability.prometheus import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsEndpoint,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from repro.runtime.observability.trace import (
+    EVENT_KINDS,
+    EventTrace,
+    TraceEvent,
+    render_timeline,
+)
+from repro.runtime.observability.warehouse import (
+    GRAINS,
+    THRESHOLD_PCTS,
+    MetricsLog,
+    RollupRow,
+    link_key,
+    merge_link_rollups,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "GRAINS",
+    "REQUIRED_METRIC_FAMILIES",
+    "THRESHOLD_PCTS",
+    "Counter",
+    "EventTrace",
+    "Gauge",
+    "Histogram",
+    "KpiReport",
+    "MetricsEndpoint",
+    "MetricsLog",
+    "MetricsRegistry",
+    "ObservabilityHub",
+    "RecordedRun",
+    "RollupRow",
+    "TraceEvent",
+    "link_key",
+    "load_run",
+    "merge_link_rollups",
+    "parse_prometheus_text",
+    "render_timeline",
+    "snapshot_run",
+    "write_kpi_report",
+    "write_run",
+]

@@ -1,0 +1,328 @@
+"""The observability hub: one object wiring warehouse, trace, metrics.
+
+:class:`ObservabilityHub` is what a
+:class:`~repro.runtime.service.PipelineService` constructs (when
+``ServiceConfig.observability`` is on — the default) at the end of
+``start()``.  It owns the run's
+:class:`~repro.runtime.observability.warehouse.MetricsLog` and
+:class:`~repro.runtime.observability.trace.EventTrace`, and threads
+lightweight callbacks through every decision-making component:
+
+* the :class:`~repro.runtime.scheduler.JobScheduler`'s ``on_event``
+  (submit / admit / finish / preempt),
+* the :class:`~repro.runtime.drift.DriftDetector`'s ``on_fire``,
+* the :class:`~repro.runtime.control.governor.BandwidthGovernor`'s
+  ``on_cap`` and the
+  :class:`~repro.runtime.control.autoscaler.ConcurrencyAutoscaler`'s
+  ``on_scale`` (when the control plane exists),
+* the gauger's :class:`~repro.pipeline.stages.GaugeLedger` ``on_gauge``.
+
+Every hook is observation-only — the hub records and counts, never
+steers — so enabling observability cannot change a run's numbers.
+
+:meth:`render_prometheus` turns the live state into Prometheus text
+(the families in :data:`REQUIRED_METRIC_FAMILIES` are always present),
+and :meth:`serve_metrics` exposes it over HTTP for ``wanify serve
+--metrics-port``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.runtime.observability.prometheus import (
+    MetricsEndpoint,
+    MetricsRegistry,
+)
+from repro.runtime.observability.trace import EventTrace
+from repro.runtime.observability.warehouse import MetricsLog
+from repro.runtime.scheduling.slo import tenant_of
+
+if TYPE_CHECKING:
+    from repro.pipeline.stages import GaugeEvent
+    from repro.runtime.drift import ReplanEvent
+    from repro.runtime.scheduler import JobTicket
+    from repro.runtime.service import PipelineService
+
+#: Metric families :meth:`ObservabilityHub.render_prometheus` always
+#: emits — the contract the CI smoke scrape asserts.
+REQUIRED_METRIC_FAMILIES: tuple[str, ...] = (
+    "wanify_jobs_submitted_total",
+    "wanify_jobs_admitted_total",
+    "wanify_jobs_completed_total",
+    "wanify_jobs_preempted_total",
+    "wanify_replans_total",
+    "wanify_drift_events_total",
+    "wanify_probe_transfers_total",
+    "wanify_probe_cost_usd_total",
+    "wanify_telemetry_samples_total",
+    "wanify_trace_events_total",
+    "wanify_metrics_scrapes_total",
+    "wanify_jobs_running",
+    "wanify_jobs_queued",
+    "wanify_max_concurrent",
+    "wanify_governor_caps_held",
+    "wanify_metrics_log_entries",
+    "wanify_link_estimate_mbps",
+    "wanify_job_latency_seconds",
+)
+
+#: Scheduler event kind → hub counter key.
+_JOB_COUNTER = {
+    "submit": "submitted",
+    "admit": "admitted",
+    "finish": "completed",
+    "preempt": "preempted",
+}
+
+
+class ObservabilityHub:
+    """Owns the warehouse + trace and instruments one service."""
+
+    def __init__(self, service: "PipelineService") -> None:
+        self.service = service
+        topology = service.cluster.topology
+
+        def capacity_of(src: str, dst: str) -> float:
+            # A directed link can carry at most what the source can
+            # send and the destination can absorb.
+            return min(
+                topology.dc(src).egress_cap_mbps,
+                topology.dc(dst).ingress_cap_mbps,
+            )
+
+        self.log = MetricsLog(capacity_of)
+        service.telemetry.attach(self.log.record)
+        self.trace = EventTrace(capacity=service.config.trace_capacity)
+        self.counters: dict[str, int] = {
+            "submitted": 0,
+            "admitted": 0,
+            "completed": 0,
+            "preempted": 0,
+            "drift": 0,
+            "gauges": 0,
+        }
+        #: Completed-job JCTs (seconds) — the latency histogram's feed.
+        self.jct_samples: list[float] = []
+        self.metrics_scrapes = 0
+        self.endpoint: Optional[MetricsEndpoint] = None
+
+        service.scheduler.on_event = self._job_event
+        if service.detector is not None:
+            service.detector.on_fire = self._drift_fired
+        control = service.control
+        if control is not None:
+            if control.governor is not None:
+                control.governor.on_cap = self._cap_moved
+            if control.autoscaler is not None:
+                control.autoscaler.on_scale = self._scaled
+        gauger = service.pipeline.gauger
+        if hasattr(gauger, "log_gauge"):
+            gauger.on_gauge = self._gauged
+
+    # -- hook handlers (observation only) -------------------------------
+
+    @property
+    def _now(self) -> float:
+        return self.service.sim.now
+
+    def _job_event(self, kind: str, ticket: "JobTicket") -> None:
+        counter = _JOB_COUNTER.get(kind)
+        if counter is not None:
+            self.counters[counter] += 1
+        detail: dict[str, object] = {"tenant": tenant_of(ticket)}
+        if kind == "admit":
+            detail["wait_s"] = ticket.waited_s
+        elif kind == "finish":
+            detail["jct_s"] = ticket.jct_s
+            self.jct_samples.append(ticket.jct_s)
+        elif kind == "preempt":
+            detail["preemptions"] = ticket.preemptions
+        self.trace.record(self._now, kind, ticket.job.name, **detail)
+
+    def _drift_fired(self, event: "ReplanEvent") -> None:
+        self.counters["drift"] += 1
+        self.trace.record(
+            event.time,
+            "drift",
+            f"{event.src}→{event.dst}",
+            rel_error=event.rel_error,
+            observed_mbps=event.observed_mbps,
+            predicted_mbps=event.predicted_mbps,
+        )
+
+    def replan_recorded(self, event: "ReplanEvent") -> None:
+        """The service executed a re-plan (called with the charged event)."""
+        self.trace.record(
+            event.time,
+            "replan",
+            f"{event.src}→{event.dst}",
+            probe_transfers=event.probe_transfers,
+            probe_cost_usd=event.probe_cost_usd,
+        )
+
+    def _cap_moved(
+        self, action: str, pair: tuple[str, str], cap_mbps: float
+    ) -> None:
+        kind = "cap-apply" if action == "apply" else "cap-release"
+        detail = {"cap_mbps": cap_mbps} if action == "apply" else {}
+        self.trace.record(self._now, kind, f"{pair[0]}→{pair[1]}", **detail)
+
+    def _scaled(self, direction: str, bound: int) -> None:
+        self.trace.record(
+            self._now, "scale", direction, max_concurrent=bound
+        )
+
+    def _gauged(self, event: "GaugeEvent") -> None:
+        self.counters["gauges"] += 1
+        self.trace.record(
+            event.time,
+            "gauge",
+            event.mode,
+            transfers=event.transfers,
+            dollars=event.dollars,
+        )
+
+    # -- summary surface ------------------------------------------------
+
+    @property
+    def rollup_rows(self) -> int:
+        """Link-level rollup rows across every grain (computed lazily)."""
+        return self.log.rollup_rows()
+
+    @property
+    def events_traced(self) -> int:
+        """Events ever recorded (including any evicted from the ring)."""
+        return self.trace.recorded
+
+    # -- Prometheus exposition ------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The service's live state in Prometheus text format.
+
+        A fresh registry is built per call, so the text always reflects
+        the moment of the scrape; totals accumulated elsewhere (probe
+        ledger, telemetry store) are read off their owners here rather
+        than double-counted through hooks.
+        """
+        service = self.service
+        scheduler = service.scheduler
+        registry = MetricsRegistry()
+
+        def counter(name: str, help_text: str, value: float) -> None:
+            registry.counter(name, help_text).set_total(value)
+
+        counter(
+            "wanify_jobs_submitted_total",
+            "Jobs submitted to the scheduler.",
+            self.counters["submitted"],
+        )
+        counter(
+            "wanify_jobs_admitted_total",
+            "Jobs admitted to a run slot (re-admissions included).",
+            self.counters["admitted"],
+        )
+        counter(
+            "wanify_jobs_completed_total",
+            "Jobs run to completion.",
+            self.counters["completed"],
+        )
+        counter(
+            "wanify_jobs_preempted_total",
+            "Preemptions executed by the control plane.",
+            self.counters["preempted"],
+        )
+        counter(
+            "wanify_replans_total",
+            "Drift-triggered re-plans executed.",
+            len(service.replans),
+        )
+        counter(
+            "wanify_drift_events_total",
+            "Drift events fired by the detector.",
+            self.counters["drift"],
+        )
+        gauger = service.pipeline.gauger
+        counter(
+            "wanify_probe_transfers_total",
+            "Probe flows launched by the gauger.",
+            float(getattr(gauger, "probe_transfers", 0)),
+        )
+        counter(
+            "wanify_probe_cost_usd_total",
+            "Probe dollars spent by the gauger.",
+            float(getattr(gauger, "probe_cost_usd", 0.0)),
+        )
+        counter(
+            "wanify_telemetry_samples_total",
+            "Monitor ticks ingested by the telemetry store.",
+            service.telemetry.total_samples,
+        )
+        counter(
+            "wanify_trace_events_total",
+            "Events recorded into the trace ring.",
+            self.trace.recorded,
+        )
+        counter(
+            "wanify_metrics_scrapes_total",
+            "Scrapes served by the /metrics endpoint.",
+            self.metrics_scrapes,
+        )
+
+        registry.gauge(
+            "wanify_jobs_running", "Jobs currently in flight."
+        ).set(len(scheduler.running))
+        registry.gauge(
+            "wanify_jobs_queued", "Jobs waiting for admission."
+        ).set(len(scheduler.queued))
+        registry.gauge(
+            "wanify_max_concurrent",
+            "Current concurrency bound (autoscaled when enabled).",
+        ).set(scheduler.max_concurrent)
+        governor = (
+            service.control.governor if service.control is not None else None
+        )
+        registry.gauge(
+            "wanify_governor_caps_held",
+            "Bandwidth-governor caps currently in force.",
+        ).set(len(governor.held) if governor is not None else 0)
+        registry.gauge(
+            "wanify_metrics_log_entries",
+            "Samples in the append-only metrics log.",
+        ).set(self.log.size)
+
+        estimates = registry.gauge(
+            "wanify_link_estimate_mbps",
+            "Per-link telemetry estimates (labels: src, dst, stat).",
+        )
+        for src, dst in service.telemetry.links():
+            estimate = service.telemetry.estimate(src, dst)
+            estimates.set(estimate.p50, src=src, dst=dst, stat="p50")
+            estimates.set(estimate.p95, src=src, dst=dst, stat="p95")
+            estimates.set(estimate.ewma, src=src, dst=dst, stat="ewma")
+
+        latency = registry.histogram(
+            "wanify_job_latency_seconds",
+            "Job completion time from submission (JCT).",
+        )
+        for jct in self.jct_samples:
+            latency.observe(jct)
+        return registry.render()
+
+    def serve_metrics(self, port: int = 0) -> MetricsEndpoint:
+        """Start the /metrics endpoint (``port=0`` binds ephemeral)."""
+        if self.endpoint is not None:
+            raise RuntimeError("metrics endpoint already serving")
+        self.endpoint = MetricsEndpoint(
+            self.render_prometheus, port=port, on_scrape=self._scraped
+        )
+        return self.endpoint
+
+    def _scraped(self) -> None:
+        self.metrics_scrapes += 1
+
+    def close(self) -> None:
+        """Stop the metrics endpoint if one is serving."""
+        if self.endpoint is not None:
+            self.endpoint.close()
+            self.endpoint = None

@@ -176,6 +176,11 @@ class JobScheduler:
         self.running: list[JobTicket] = []
         self.completed: list[JobTicket] = []
         self.on_job_finished: Optional[Callable[[JobTicket], None]] = None
+        #: Lifecycle hook for observability: called with
+        #: ``("submit" | "admit" | "finish" | "preempt", ticket)`` at
+        #: each transition.  Observation-only — the callback must not
+        #: mutate scheduler state.
+        self.on_event: Optional[Callable[[str, JobTicket], None]] = None
         #: Most jobs ever in flight at once (for concurrency assertions).
         self.peak_concurrency = 0
         self._first_submit: Optional[float] = None
@@ -227,6 +232,8 @@ class JobScheduler:
             self._first_submit = self.sim.now
         self.queued.append(ticket)
         self.reallocator.note_submit()
+        if self.on_event is not None:
+            self.on_event("submit", ticket)
         self._admit()
         return ticket
 
@@ -266,6 +273,8 @@ class JobScheduler:
             resume_from=ticket.checkpoint,
         )
         ticket.checkpoint = None
+        if self.on_event is not None:
+            self.on_event("admit", ticket)
         ticket.run.start()
 
     # -- preemption (control-plane surface) -----------------------------
@@ -314,6 +323,8 @@ class JobScheduler:
         # The cached admission order may still reference the victim as
         # admitted; force a re-ordering before the next policy pop.
         self.reallocator.invalidate()
+        if self.on_event is not None:
+            self.on_event("preempt", victim)
         if beneficiary is not None:
             self._start(beneficiary)
         else:
@@ -338,6 +349,8 @@ class JobScheduler:
         self.running.remove(ticket)
         self.completed.append(ticket)
         self.reallocator.note_finish()
+        if self.on_event is not None:
+            self.on_event("finish", ticket)
         if self.on_job_finished is not None:
             self.on_job_finished(ticket)
         self._admit()

@@ -56,6 +56,7 @@ from repro.pipeline.core import Pipeline
 from repro.pipeline.deploy import Deployment
 from repro.runtime.control.plane import ControlPlane
 from repro.runtime.drift import DriftDetector, ReplanEvent
+from repro.runtime.observability.hub import ObservabilityHub
 from repro.runtime.scenarios import scenario
 from repro.runtime.scheduler import JobScheduler, JobTicket, PolicySpec
 from repro.runtime.scheduling import SLO, spread_slos
@@ -129,6 +130,15 @@ class ServiceSummary:
     #: Highest concurrency reached: the autoscaler's high-water bound
     #: when autoscaling, otherwise the scheduler's achieved peak.
     concurrency_high_water: int = 0
+    #: Observability-hub statistics (all zero with the hub disabled):
+    #: ``rollup_rows`` counts link-level warehouse rollup rows across
+    #: every grain, ``events_traced`` the events ever recorded into
+    #: the trace ring, ``metrics_scrapes`` the ``/metrics`` fetches
+    #: served.  Sweep reports carry all three, so observability
+    #: overhead is comparable across cells.
+    rollup_rows: int = 0
+    events_traced: int = 0
+    metrics_scrapes: int = 0
     events: list[ReplanEvent] = field(default_factory=list)
 
     def to_row(self) -> dict[str, float]:
@@ -156,6 +166,9 @@ class ServiceSummary:
             "throttle_moves": float(self.throttle_moves),
             "throttle_releases": float(self.throttle_releases),
             "concurrency_high_water": float(self.concurrency_high_water),
+            "rollup_rows": float(self.rollup_rows),
+            "events_traced": float(self.events_traced),
+            "metrics_scrapes": float(self.metrics_scrapes),
         }
 
 
@@ -202,6 +215,7 @@ class PipelineService:
         self.deployment: Optional[Deployment] = None
         self.detector: Optional[DriftDetector] = None
         self.control: Optional[ControlPlane] = None
+        self.hub: Optional[ObservabilityHub] = None
         self.replans: list[ReplanEvent] = []
         self._drift_process: Optional[Process] = None
         self._started = False
@@ -313,6 +327,12 @@ class PipelineService:
                 self.config,
                 predicted_bw=lambda: self.predicted,
             )
+        # Observability last: the hub hooks into whatever the config
+        # actually built (detector, control plane, gauger ledger), and
+        # every hook is observation-only — disabling it changes no
+        # run's numbers, only what can be seen of them.
+        if self.config.observability:
+            self.hub = ObservabilityHub(self)
 
     def _gauge(self) -> BandwidthMatrix:
         """Snapshot the *live* network weather and predict runtime BWs.
@@ -404,13 +424,14 @@ class PipelineService:
         self._install(self.predicted)
         if self.detector is not None:
             self.detector.rebase(self.predicted, self.sim.now)
-        self.replans.append(
-            event.charged(
-                transfers=int(getattr(gauger, "probe_transfers", 0)) - before[0],
-                gigabytes=float(getattr(gauger, "probe_gb", 0.0)) - before[1],
-                dollars=float(getattr(gauger, "probe_cost_usd", 0.0)) - before[2],
-            )
+        charged = event.charged(
+            transfers=int(getattr(gauger, "probe_transfers", 0)) - before[0],
+            gigabytes=float(getattr(gauger, "probe_gb", 0.0)) - before[1],
+            dollars=float(getattr(gauger, "probe_cost_usd", 0.0)) - before[2],
         )
+        self.replans.append(charged)
+        if self.hub is not None:
+            self.hub.replan_recorded(charged)
 
     def stop(self) -> None:
         """Stop agents, control plane, and watcher (queued jobs stay)."""
@@ -525,6 +546,15 @@ class PipelineService:
                 self.control.concurrency_high_water
                 if self.control is not None
                 else self.scheduler.peak_concurrency
+            ),
+            rollup_rows=(
+                self.hub.rollup_rows if self.hub is not None else 0
+            ),
+            events_traced=(
+                self.hub.events_traced if self.hub is not None else 0
+            ),
+            metrics_scrapes=(
+                self.hub.metrics_scrapes if self.hub is not None else 0
             ),
             events=list(self.replans),
         )

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -51,6 +52,28 @@ class LinkEstimate:
     ewma: float
     samples: int
     last_time: float
+
+    @classmethod
+    def empty(cls) -> "LinkEstimate":
+        """The sentinel estimate for a never-sampled link.
+
+        All-zero statistics with ``last_time`` ``nan`` — callers that
+        need to distinguish "no data" from "measured zero" check
+        :attr:`is_empty` instead of comparing magnitudes.
+        """
+        return cls(
+            p50=0.0, p95=0.0, ewma=0.0, samples=0, last_time=float("nan")
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """No *active* samples backed this estimate.
+
+        True both for a never-sampled link (``last_time`` is ``nan``)
+        and for one whose window held only idle samples — in either
+        case the percentiles say nothing about capacity.
+        """
+        return self.samples == 0
 
 
 class LinkSeries:
@@ -151,14 +174,30 @@ class TelemetryStore:
         self.ewma_alpha = ewma_alpha
         self._series: dict[tuple[str, str], LinkSeries] = {}
         self.total_samples = 0
+        self._sinks: list[Callable[[str, float, dict[str, float]], None]] = []
 
     # -- ingestion ------------------------------------------------------
+
+    def attach(
+        self, sink: Callable[[str, float, dict[str, float]], None]
+    ) -> None:
+        """Forward every future :meth:`record` call to ``sink`` too.
+
+        ``sink`` has the same ``(dc, time, rates)`` signature monitors
+        publish with — this is how the observability warehouse's
+        :class:`~repro.runtime.observability.warehouse.MetricsLog`
+        receives a copy of every sample without the monitors knowing
+        it exists.
+        """
+        self._sinks.append(sink)
 
     def record(self, dc: str, time: float, rates_mbps: dict[str, float]) -> None:
         """Ingest one monitor tick: ``dc``'s outgoing rates at ``time``."""
         for dst, rate in rates_mbps.items():
             self.series(dc, dst).add(time, rate)
         self.total_samples += 1
+        for sink in self._sinks:
+            sink(dc, time, rates_mbps)
 
     # -- access ---------------------------------------------------------
 
@@ -177,14 +216,30 @@ class TelemetryStore:
         return sorted(self._series)
 
     def estimate(self, src: str, dst: str) -> LinkEstimate:
-        """Estimator bundle for one link over the store's window."""
-        return self.series(src, dst).estimate(self.window_s)
+        """Estimator bundle for one link over the store's window.
+
+        A read-only peek: asking about a never-sampled link returns
+        the :meth:`LinkEstimate.empty` sentinel *without* creating a
+        series (previously this polluted :meth:`links` with phantom
+        entries every probe of an unknown pair).
+        """
+        found = self._series.get((src, dst))
+        if found is None:
+            return LinkEstimate.empty()
+        return found.estimate(self.window_s)
 
     def capacity_mbps(
         self, src: str, dst: str, percentile: float = 95.0
     ) -> float:
-        """Sliding-window capacity estimate (p95 by default)."""
-        return self.series(src, dst).percentile(percentile, self.window_s)
+        """Sliding-window capacity estimate (p95 by default).
+
+        Read-only like :meth:`estimate`: an unsampled link reads 0
+        and leaves no phantom series behind.
+        """
+        found = self._series.get((src, dst))
+        if found is None:
+            return 0.0
+        return found.percentile(percentile, self.window_s)
 
     def estimate_matrix(
         self, keys: tuple[str, ...], percentile: float = 50.0

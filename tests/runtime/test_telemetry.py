@@ -4,7 +4,7 @@ import pytest
 
 from repro.net.monitor import WanMonitor
 from repro.net.simulator import NetworkSimulator
-from repro.runtime.telemetry import LinkSeries, TelemetryStore
+from repro.runtime.telemetry import LinkEstimate, LinkSeries, TelemetryStore
 
 
 class TestLinkSeries:
@@ -101,6 +101,59 @@ class TestTelemetryStore:
         matrix = store.estimate_matrix(("a", "b"))
         assert matrix.get("a", "b") == pytest.approx(300.0)
         assert matrix.get("b", "a") == 0.0
+
+    def test_unknown_link_reads_empty_sentinel(self):
+        """Peeking at a never-sampled link yields the sentinel…"""
+        store = TelemetryStore()
+        estimate = store.estimate("a", "b")
+        assert LinkEstimate.empty().is_empty
+        assert estimate.is_empty
+        assert estimate.p50 == estimate.p95 == estimate.ewma == 0.0
+        assert estimate.last_time != estimate.last_time  # nan
+
+    def test_estimate_peek_is_read_only(self):
+        """…and leaves no phantom series behind (links() stays clean)."""
+        store = TelemetryStore()
+        store.record("a", 1.0, {"b": 100.0})
+        store.estimate("x", "y")
+        store.capacity_mbps("p", "q")
+        assert store.links() == [("a", "b")]
+
+    def test_single_sample_estimate(self):
+        """One active sample is its own p50 and p95."""
+        store = TelemetryStore()
+        store.record("a", 1.0, {"b": 250.0})
+        estimate = store.estimate("a", "b")
+        assert not estimate.is_empty
+        assert estimate.samples == 1
+        assert estimate.p50 == pytest.approx(250.0)
+        assert estimate.p95 == pytest.approx(250.0)
+
+    def test_idle_only_window_is_empty_estimate(self):
+        """A sampled-but-always-idle link reads as empty: zero-rate
+        ticks say nothing about capacity, so percentiles stay 0 and
+        ``is_empty`` is true even though ``last_time`` is real."""
+        store = TelemetryStore()
+        for t in range(4):
+            store.record("a", float(t), {"b": 0.0})
+        estimate = store.estimate("a", "b")
+        assert estimate.is_empty
+        assert estimate.samples == 0
+        assert estimate.p95 == 0.0
+        assert estimate.last_time == 3.0
+
+    def test_attached_sink_sees_every_record(self):
+        """attach() forwards (dc, time, rates) verbatim to sinks."""
+        store = TelemetryStore()
+        seen = []
+        store.record("a", 0.0, {"b": 10.0})  # before attach: not seen
+        store.attach(lambda dc, t, rates: seen.append((dc, t, rates)))
+        store.record("a", 1.0, {"b": 20.0})
+        store.record("c", 2.0, {"d": 0.0})
+        assert seen == [
+            ("a", 1.0, {"b": 20.0}),
+            ("c", 2.0, {"d": 0.0}),
+        ]
 
     def test_fed_by_live_monitor(self, triad, calm):
         """A WanMonitor with the store as sink publishes every tick."""
