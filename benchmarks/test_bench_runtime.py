@@ -19,6 +19,7 @@ from pathlib import Path
 
 from repro.experiments import online_replanning
 from repro.gda.engine.cluster import GeoCluster
+from repro.tuner import load_tune, run_tune, rung_plan
 from repro.gda.systems.tetrium import TetriumPolicy
 from repro.gda.workloads.terasort import terasort_job
 from repro.net.dynamics import FluctuationModel
@@ -145,6 +146,24 @@ def _replan_latency_ms(rounds: int = 5) -> float:
     return elapsed * 1e3 / rounds
 
 
+def _timed_tune_search() -> tuple[int, int, float]:
+    """One committed offline-tuner search: (cells executed, the
+    unpruned cells × rungs product, wall seconds).
+
+    Runs the example tune file's successive-halving search end to end;
+    ``cells_executed`` is fully deterministic (same matrix, same
+    pruning decisions), the wall-clock side regresses the search
+    throughput.
+    """
+    spec = load_tune("examples/tune.toml")
+    unpruned = len(spec.sweep.cells) * len(rung_plan(spec))
+    start = time.perf_counter()
+    result = run_tune(spec)
+    wall_s = time.perf_counter() - start
+    assert result.winner is not None
+    return result.cells_executed, unpruned, wall_s
+
+
 def test_runtime_bench_report(capsys):
     """Write BENCH_runtime.json and pin the metrics-log overhead < 5%."""
     row, wall_s = _timed_service_run()
@@ -155,6 +174,7 @@ def test_runtime_bench_report(capsys):
         100.0 * row["log_entries"] * ns_per_sample * 1e-9 / wall_s
     )
     replan_ms = _replan_latency_ms()
+    tuner_cells, tuner_unpruned, tune_wall_s = _timed_tune_search()
     report = {
         "completed_jobs": row["completed"],
         "jobs_per_wall_s": row["completed"] / wall_s,
@@ -165,6 +185,9 @@ def test_runtime_bench_report(capsys):
         "rollup_rows": row["rollup_rows"],
         "events_traced": row["events_traced"],
         "metrics_log_overhead_pct": overhead_pct,
+        "tuner_cells_executed": tuner_cells,
+        "tuner_unpruned_cell_runs": tuner_unpruned,
+        "tuner_cells_per_s": tuner_cells / tune_wall_s,
     }
     path = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
     path.write_text(json.dumps(report, indent=2) + "\n")
@@ -174,8 +197,12 @@ def test_runtime_bench_report(capsys):
             f"runtime bench: {report['jobs_per_wall_s']:.1f} jobs/wall-s, "
             f"re-plan {replan_ms:.1f} ms, metrics-log "
             f"{ns_per_sample:.0f} ns/sample "
-            f"({overhead_pct:.3f}% of the run) → {path.name}"
+            f"({overhead_pct:.3f}% of the run), tuner search "
+            f"{tuner_cells}/{tuner_unpruned} cell-runs at "
+            f"{report['tuner_cells_per_s']:.1f} cells/wall-s → {path.name}"
         )
     assert row["completed"] == 6
     assert row["rollup_rows"] > 0 and row["events_traced"] > 0
     assert overhead_pct < MAX_LOG_OVERHEAD_PCT
+    # Successive halving must beat the unpruned cells × rungs product.
+    assert tuner_cells < tuner_unpruned

@@ -37,6 +37,8 @@ DETERMINISTIC = (
     "metrics_log_entries",
     "rollup_rows",
     "events_traced",
+    "tuner_cells_executed",
+    "tuner_unpruned_cell_runs",
 )
 
 #: Wall-clock metrics: name → +1 when higher is better, -1 when lower.
@@ -46,6 +48,7 @@ WALL_CLOCK = {
     "replan_latency_ms": -1,
     "metrics_log_ns_per_sample": -1,
     "metrics_log_overhead_pct": -1,
+    "tuner_cells_per_s": +1,
 }
 
 #: Hard absolute ceiling for the warehouse ingest overhead (percent).

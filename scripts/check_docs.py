@@ -42,6 +42,7 @@ DOCUMENTS = (
     "docs/API.md",
     "docs/SCHEDULING.md",
     "docs/OPERATIONS.md",
+    "docs/TUNING.md",
 )
 
 #: The operator's guide — must document every config field.

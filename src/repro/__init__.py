@@ -99,8 +99,10 @@ from repro.pipeline import (
     register_predictor,
     register_preemption_policy,
     register_scenario,
+    register_tuner_policy,
     register_variant,
     scenario_registry,
+    tuner_registry,
     variant_registry,
 )
 
@@ -200,8 +202,10 @@ __all__ = [
     "register_predictor",
     "register_preemption_policy",
     "register_scenario",
+    "register_tuner_policy",
     "register_variant",
     "scenario_registry",
+    "tuner_registry",
     "variant_registry",
     "__version__",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the things a downstream user does most:
+Eight commands cover the things a downstream user does most:
 
 =============  =========================================================
 command        what it does
@@ -18,6 +18,10 @@ command        what it does
                a JSON + markdown comparison report (``--jobs N`` runs
                cells on parallel workers; ``repeats`` adds mean ±
                stdev columns)
+``tune``       successive-halving search over the same matrix for the
+               cheapest configuration meeting an SLO-attainment target
+               (``[tune]`` table); writes tune.json + tune.md +
+               winner.toml
 =============  =========================================================
 
 Every command is deterministic given ``--seed`` (the network weather is
@@ -62,6 +66,7 @@ from repro.pipeline.registry import (
     policy_registry,
     predictor_registry,
     preemption_policy_registry,
+    tuner_registry,
     variant_registry,
 )
 
@@ -114,6 +119,7 @@ def _check_registered(config: object, out: IO[str]) -> bool:
         ("planner", planner_registry),
         ("scheduler", admission_policy_registry),
         ("preemption", preemption_policy_registry),
+        ("tuner", tuner_registry),
     )
     for field_name, registry in checks:
         value = getattr(config, field_name, None)
@@ -545,6 +551,59 @@ def cmd_sweep(args: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def cmd_tune(args: argparse.Namespace, out: IO[str]) -> int:
+    """Run (or dry-run) the successive-halving config search."""
+    from repro.tuner.search import (
+        load_tune,
+        render_tune_markdown,
+        rung_plan,
+        run_tune,
+        write_tune_report,
+    )
+
+    if args.config_file is None:
+        out.write(
+            "tune needs --config FILE (a sweep config, optionally with "
+            "a [tune] table; see examples/tune.toml)\n"
+        )
+        return 2
+    try:
+        spec = load_tune(args.config_file)
+    except (OSError, ValueError) as exc:  # TuneError is a ValueError
+        out.write(f"bad tune configuration: {exc}\n")
+        return 2
+    if args.workers < 1:
+        out.write(f"--jobs must be ≥ 1 (got {args.workers})\n")
+        return 2
+    sweep = spec.sweep
+    cells = sweep.cells
+    plan = rung_plan(spec)
+    swept = ", ".join(sweep.swept) if sweep.swept else "nothing (single cell)"
+    out.write(
+        f"tune matrix: {sweep.shape} over {swept} — {len(cells)} cells, "
+        f"target slo_attainment ≥ {spec.target}, eta {spec.eta}\n"
+    )
+    for index, (jobs, repeats) in enumerate(plan):
+        out.write(
+            f"  rung {index + 1}/{len(plan)}: jobs={jobs} repeats={repeats}"
+            f"{' (full fidelity)' if index == len(plan) - 1 else ''}\n"
+        )
+    if args.dry_run:
+        for index, cell in enumerate(cells):
+            out.write(f"  [{index + 1}/{len(cells)}] {sweep.label(cell)}\n")
+        out.write("dry run: nothing executed\n")
+        return 0
+
+    def progress(index: int, total: int, label: str) -> None:
+        out.write(f"  [{index + 1}/{total}] {label}\n")
+
+    result = run_tune(spec, progress=progress, workers=args.workers)
+    json_path, md_path, toml_path = write_tune_report(result, args.output)
+    out.write("\n" + render_tune_markdown(result))
+    out.write(f"wrote {json_path}, {md_path} and {toml_path}\n")
+    return 0 if result.feasible else 1
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -703,6 +762,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the expanded matrix cells without running them",
     )
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="successive-halving search over a sweep matrix for the "
+        "cheapest config meeting an SLO target",
+    )
+    p_tune.add_argument(
+        "--config",
+        dest="config_file",
+        metavar="FILE",
+        default=None,
+        help="TOML/JSON sweep config, optionally with a [tune] table "
+        "(see examples/tune.toml)",
+    )
+    p_tune.add_argument(
+        "--output",
+        default="tune-report",
+        help="report directory (tune.json + tune.md + winner.toml are "
+        "written there)",
+    )
+    p_tune.add_argument(
+        "--jobs",
+        dest="workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel worker processes per rung (rows stay in "
+        "deterministic matrix order)",
+    )
+    p_tune.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the rung plan and matrix cells without running them",
+    )
     return parser
 
 
@@ -714,6 +807,7 @@ _COMMANDS = {
     "predict": cmd_predict,
     "serve": cmd_serve,
     "sweep": cmd_sweep,
+    "tune": cmd_tune,
 }
 
 

@@ -120,6 +120,8 @@ METRIC_COLUMNS: tuple[str, ...] = (
     "rollup_rows",
     "events_traced",
     "metrics_scrapes",
+    "policy_switches",
+    "tuner_arms_explored",
 )
 
 

@@ -61,8 +61,10 @@ from repro.pipeline.registry import (
     register_predictor,
     register_preemption_policy,
     register_scenario,
+    register_tuner_policy,
     register_variant,
     scenario_registry,
+    tuner_registry,
     variant_registry,
 )
 from repro.pipeline.stages import (
@@ -118,7 +120,9 @@ __all__ = [
     "register_predictor",
     "register_preemption_policy",
     "register_scenario",
+    "register_tuner_policy",
     "register_variant",
     "scenario_registry",
+    "tuner_registry",
     "variant_registry",
 ]

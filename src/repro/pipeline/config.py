@@ -191,6 +191,28 @@ class ServiceConfig(PipelineConfig):
     metrics_port: Optional[int] = config_field(
         None, help="serve /metrics on this port (0 = ephemeral; unset = off)"
     )
+    #: Online policy switcher — names an entry in
+    #: ``repro.pipeline.registry.tuner_registry`` (``none``,
+    #: ``epsilon-greedy``, ``ucb1``, or anything registered from user
+    #: code).  ``none`` (the default) builds no switcher at all, so
+    #: every pre-existing run stays byte-identical.
+    tuner: str = config_field("none", help="online policy switcher (registered name)")
+    #: SLO-attainment floor the offline ``wanify tune`` search treats
+    #: as its feasibility constraint (also the ``[tune]`` table's
+    #: default ``target``).
+    tune_target: float = config_field(
+        0.9, help="SLO-attainment target for `wanify tune`"
+    )
+    #: Minimum simulated seconds between switcher decisions.  Matches
+    #: the re-plan cooldown default so policy churn and re-planning
+    #: settle on the same timescale.
+    switch_cooldown_s: float = config_field(
+        240.0, help="cooldown between policy-switch decisions (s)"
+    )
+    #: Exploration rate for the ``epsilon-greedy`` switcher.
+    tuner_epsilon: float = config_field(
+        0.2, help="epsilon-greedy exploration rate"
+    )
     #: Training-campaign size (small defaults keep service start cheap;
     #: raise toward the paper's 120/100 for fidelity studies).
     n_training_datasets: int = config_field(24, help="training datasets", cli="--datasets")

@@ -198,6 +198,13 @@ preemption_policy_registry = Registry(
     "preemption policy", bootstrap="repro.runtime.control.preemption"
 )
 
+#: Online tuner (bandit) policies for the control plane's
+#: :class:`~repro.tuner.switcher.PolicySwitcher` — entries are bandit
+#: classes or instances (``none`` / ``epsilon-greedy`` / ``ucb1``
+#: built in).  ``none`` is a registered sentinel so config validation
+#: has one source of truth; the service never builds a switcher for it.
+tuner_registry = Registry("tuner policy", bootstrap="repro.tuner.switcher")
+
 register_gauger = gauger_registry.register
 register_predictor = predictor_registry.register
 register_planner = planner_registry.register
@@ -206,6 +213,7 @@ register_policy = policy_registry.register
 register_scenario = scenario_registry.register
 register_admission_policy = admission_policy_registry.register
 register_preemption_policy = preemption_policy_registry.register
+register_tuner_policy = tuner_registry.register
 
 
 def build_stage(registry: Registry, name: str, **context: object) -> object:

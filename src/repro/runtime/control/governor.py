@@ -85,9 +85,25 @@ class BandwidthGovernor:
         now: float,
         running: Sequence["JobTicket"],
         slack_s: Callable[["JobTicket"], Optional[float]],
+        weight_of: Optional[Callable[["JobTicket"], float]] = None,
     ) -> int:
-        """One governing pass; returns the number of caps applied."""
+        """One governing pass; returns the number of caps applied.
+
+        ``weight_of`` couples caps to SLO fairness weights: a pair
+        whose owners carry mean weight ``w`` is capped with an
+        effective factor of ``1 - (1 - throttle_factor) / w`` — heavy
+        (important) donors give up proportionally less bandwidth,
+        light ones give up more.  At the default weight of 1.0 the
+        expression collapses to ``throttle_factor`` exactly, so runs
+        that never set :attr:`~repro.runtime.scheduling.slo.SLO.weight`
+        are numerically untouched.
+        """
         slacks = {t.job.name: slack_s(t) for t in running}
+        weights = (
+            {t.job.name: weight_of(t) for t in running}
+            if weight_of is not None
+            else {}
+        )
         poor = {
             name for name, s in slacks.items() if s is not None and s < 0.0
         }
@@ -129,7 +145,20 @@ class BandwidthGovernor:
             rate = rate_by_pair.get(pair, 0.0)
             if rate <= 0.0:
                 continue
-            cap = max(rate * self.throttle_factor, self.floor_mbps)
+            factor = self.throttle_factor
+            if weights:
+                mean_weight = sum(
+                    weights.get(name, 1.0) for name in users
+                ) / len(users)
+                if mean_weight > 0.0 and mean_weight != 1.0:
+                    factor = min(
+                        0.95,
+                        max(
+                            0.05,
+                            1.0 - (1.0 - self.throttle_factor) / mean_weight,
+                        ),
+                    )
+            cap = max(rate * factor, self.floor_mbps)
             previous = self.network.tc.limit(*pair)
             if previous <= cap:
                 continue

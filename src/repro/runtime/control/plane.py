@@ -13,14 +13,18 @@ plane (admission policies) orders the queue; the control plane watches
    (victim, beneficiary) swap and execute it through
    :meth:`~repro.runtime.scheduler.JobScheduler.preempt`;
 3. **govern** — shift WAN share from slack-rich to slack-poor jobs via
-   :class:`~repro.runtime.control.governor.BandwidthGovernor` caps.
+   :class:`~repro.runtime.control.governor.BandwidthGovernor` caps;
+4. **tune** — let the registered
+   :class:`~repro.tuner.switcher.PolicySwitcher` score the live policy
+   bundle against the observed regime and hot-swap scheduler /
+   preemption policies (``tuner != "none"`` only).
 
-All three consume one shared
+All of them consume one shared
 :class:`~repro.runtime.control.slack.SlackEstimator`, so "urgent"
 means the same thing to the autoscaler, the preemptor, and the
 governor.  The plane is only constructed when the config enables at
-least one feature — a default config (``preemption="none"``, governor
-and autoscaler off) never builds one, leaving every existing run
+least one feature — a default config (``preemption="none"``, governor,
+autoscaler and tuner off) never builds one, leaving every existing run
 byte-identical.
 """
 
@@ -29,6 +33,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.pipeline.registry import placement_policy, preemption_policy
+from repro.runtime.scheduling.slo import slo_weight
 from repro.runtime.control.autoscaler import ConcurrencyAutoscaler
 from repro.runtime.control.governor import BandwidthGovernor
 from repro.runtime.control.preemption import (
@@ -54,6 +59,7 @@ class ControlPlane:
         config: "ServiceConfig",
         predicted_bw: Callable[[], object],
         on_preempt: Optional[Callable[[PreemptionDecision], None]] = None,
+        warehouse: Optional[Callable[[], object]] = None,
     ) -> None:
         self.scheduler = scheduler
         self.config = config
@@ -77,6 +83,15 @@ class ControlPlane:
             if config.autoscale
             else None
         )
+        self.switcher = None
+        if config.tuner != "none":
+            # Deferred import: the tuner package imports the registry,
+            # which bootstraps this module for preemption policies.
+            from repro.tuner.switcher import PolicySwitcher
+
+            self.switcher = PolicySwitcher(
+                scheduler, self, config, warehouse=warehouse
+            )
         self.on_preempt = on_preempt
         #: (completion count, median rate) memo for :meth:`_achieved_rate`.
         self._rate_cache: Optional[tuple[int, Optional[float]]] = None
@@ -134,6 +149,11 @@ class ControlPlane:
         return self.governor.throttle_releases if self.governor else 0
 
     @property
+    def policy_switches(self) -> int:
+        """Bandit-driven policy swaps applied (0 with the tuner off)."""
+        return self.switcher.switches if self.switcher is not None else 0
+
+    @property
     def concurrency_high_water(self) -> int:
         """Highest concurrency bound (autoscaled) or achieved peak."""
         bound = (
@@ -184,7 +204,14 @@ class ControlPlane:
                 self._execute(decision)
                 view = self.view()
         if self.governor is not None:
-            self.governor.rebalance(now, view.running, view.slack_s)
+            self.governor.rebalance(
+                now, view.running, view.slack_s, weight_of=slo_weight
+            )
+        if self.switcher is not None:
+            # Last: the switcher scores the world the actuators above
+            # just made, then (outside its cooldown) may swap policies
+            # that only take effect from the next admission on.
+            self.switcher.tick(now)
 
     def _execute(self, decision: PreemptionDecision) -> None:
         if self.governor is not None:
@@ -216,7 +243,15 @@ class ControlPlane:
             self.governor.forget()
 
     def close(self) -> None:
-        """Stop the loop and release every held throttle."""
+        """Stop the loop, restore switched policies, release throttles.
+
+        The switcher restores the baseline policy bundle *before* the
+        governor releases its caps, mirroring construction order in
+        reverse — teardown leaves neither a switched-in policy nor a
+        held throttle behind.
+        """
         self._process.stop()
+        if self.switcher is not None:
+            self.switcher.close()
         if self.governor is not None:
             self.governor.release_all()

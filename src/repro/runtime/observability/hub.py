@@ -63,6 +63,8 @@ REQUIRED_METRIC_FAMILIES: tuple[str, ...] = (
     "wanify_max_concurrent",
     "wanify_governor_caps_held",
     "wanify_metrics_log_entries",
+    "wanify_policy_switches_total",
+    "wanify_tuner_arm_pulls",
     "wanify_link_estimate_mbps",
     "wanify_job_latency_seconds",
 )
@@ -116,6 +118,8 @@ class ObservabilityHub:
                 control.governor.on_cap = self._cap_moved
             if control.autoscaler is not None:
                 control.autoscaler.on_scale = self._scaled
+            if control.switcher is not None:
+                control.switcher.on_switch = self._policy_switched
         gauger = service.pipeline.gauger
         if hasattr(gauger, "log_gauge"):
             gauger.on_gauge = self._gauged
@@ -171,6 +175,18 @@ class ObservabilityHub:
     def _scaled(self, direction: str, bound: int) -> None:
         self.trace.record(
             self._now, "scale", direction, max_concurrent=bound
+        )
+
+    def _policy_switched(self, event) -> None:
+        self.trace.record(
+            event.time,
+            "policy-switch",
+            event.arm.name,
+            action=event.action,
+            previous=event.previous.name,
+            scheduler=event.arm.scheduler,
+            preemption=event.arm.preemption,
+            regime=event.regime,
         )
 
     def _gauged(self, event: "GaugeEvent") -> None:
@@ -290,6 +306,21 @@ class ObservabilityHub:
             "wanify_metrics_log_entries",
             "Samples in the append-only metrics log.",
         ).set(self.log.size)
+        switcher = (
+            service.control.switcher if service.control is not None else None
+        )
+        counter(
+            "wanify_policy_switches_total",
+            "Bandit-driven policy switches applied by the tuner.",
+            switcher.switches if switcher is not None else 0,
+        )
+        pulls = registry.gauge(
+            "wanify_tuner_arm_pulls",
+            "Bandit pulls per tuner arm (label: arm).",
+        )
+        if switcher is not None:
+            for arm_name, stats in switcher.arm_stats().items():
+                pulls.set(stats["pulls"], arm=arm_name)
 
         estimates = registry.gauge(
             "wanify_link_estimate_mbps",

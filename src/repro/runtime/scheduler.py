@@ -343,6 +343,19 @@ class JobScheduler:
         self.max_concurrent = value
         self._admit()
 
+    def set_admission(self, spec: object) -> None:
+        """Hot-swap the admission policy (the policy switcher's knob).
+
+        Running jobs are untouched; only the order of future admissions
+        changes.  The batched reallocator keeps its amortization
+        counters but is re-pointed at the new policy and invalidated,
+        so the next pop re-orders the queue under the new policy rather
+        than draining a cache built by the old one.
+        """
+        self.admission = admission_policy(spec)
+        self.reallocator.policy = self.admission
+        self.reallocator.invalidate()
+
     def _finished(self, ticket: JobTicket, result: JobResult) -> None:
         ticket.result = result
         ticket.finished_s = self.sim.now

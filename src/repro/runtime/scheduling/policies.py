@@ -156,17 +156,29 @@ class DeadlineAdmission:
     Tickets without a deadline sort last (FIFO among themselves): a
     job that promised nothing should never displace one racing a
     deadline.
+
+    Preemption-aware: a queued ticket that was preempted must pay a
+    checkpoint-restart toll before it makes progress again, so its
+    *effective* deadline is charged :data:`RESTART_COST_S` per
+    preemption suffered — a twice-preempted job sorts as if its
+    deadline were a minute closer, biasing admission against bouncing
+    the same victim repeatedly.  Never-preempted tickets (every ticket
+    in a run without a preemption policy) sort exactly as before.
     """
 
     name = "deadline-edf"
     dynamic = False
+
+    #: Effective-deadline charge (s) per preemption a queued ticket has
+    #: suffered — the restart toll of re-reading its checkpoint.
+    RESTART_COST_S = 30.0
 
     def order(
         self,
         queued: Sequence["JobTicket"],
         view: SchedulerView,
     ) -> list["JobTicket"]:
-        """Ascending absolute deadline; deadline-free tickets last."""
+        """Ascending effective deadline; deadline-free tickets last."""
 
         def key(ticket: "JobTicket") -> tuple[float, float, int]:
             deadline = (
@@ -176,6 +188,8 @@ class DeadlineAdmission:
             )
             if deadline is None:
                 deadline = float("inf")
+            elif ticket.preemptions:
+                deadline -= self.RESTART_COST_S * ticket.preemptions
             return (deadline, ticket.submitted_s, ticket.seq)
 
         return sorted(queued, key=key)

@@ -139,6 +139,13 @@ class ServiceSummary:
     rollup_rows: int = 0
     events_traced: int = 0
     metrics_scrapes: int = 0
+    #: Online-tuner statistics (all zero/empty with ``tuner = "none"``,
+    #: the default): ``policy_switches`` counts bandit-driven policy
+    #: swaps the switcher applied, ``tuner_arm_stats`` is the per-arm
+    #: ``{pulls, rewarded, total_reward, mean_reward}`` ledger for the
+    #: arms it actually pulled.
+    policy_switches: int = 0
+    tuner_arm_stats: dict[str, dict[str, float]] = field(default_factory=dict)
     events: list[ReplanEvent] = field(default_factory=list)
 
     def to_row(self) -> dict[str, float]:
@@ -169,6 +176,8 @@ class ServiceSummary:
             "rollup_rows": float(self.rollup_rows),
             "events_traced": float(self.events_traced),
             "metrics_scrapes": float(self.metrics_scrapes),
+            "policy_switches": float(self.policy_switches),
+            "tuner_arms_explored": float(len(self.tuner_arm_stats)),
         }
 
 
@@ -321,11 +330,17 @@ class PipelineService:
             self.config.preemption != "none"
             or self.config.governor
             or self.config.autoscale
+            or self.config.tuner != "none"
         ):
             self.control = ControlPlane(
                 self.scheduler,
                 self.config,
                 predicted_bw=lambda: self.predicted,
+                # Deferred: the hub (and its warehouse) is built after
+                # the plane, and only when observability is on.
+                warehouse=lambda: (
+                    self.hub.log if self.hub is not None else None
+                ),
             )
         # Observability last: the hub hooks into whatever the config
         # actually built (detector, control plane, gauger ledger), and
@@ -555,6 +570,17 @@ class PipelineService:
             ),
             metrics_scrapes=(
                 self.hub.metrics_scrapes if self.hub is not None else 0
+            ),
+            policy_switches=(
+                self.control.policy_switches
+                if self.control is not None
+                else 0
+            ),
+            tuner_arm_stats=(
+                self.control.switcher.arm_stats()
+                if self.control is not None
+                and self.control.switcher is not None
+                else {}
             ),
             events=list(self.replans),
         )

@@ -1,0 +1,58 @@
+"""Adaptive tuning: offline config search + online policy switching.
+
+Two halves of one loop.  :mod:`repro.tuner.search` is the **offline**
+half — ``wanify tune`` runs successive halving over the sweep matrix
+to find the cheapest configuration meeting an SLO-attainment target.
+:mod:`repro.tuner.switcher` is the **online** half — a bandit-driven
+:class:`~repro.tuner.switcher.PolicySwitcher` the control plane ticks,
+hot-swapping scheduler/preemption policies mid-run as the gauged
+network regime shifts.  Both are off by default (``tuner = "none"``,
+``tune`` only runs when invoked), so paper-reproduction runs never see
+either.
+"""
+
+from repro.tuner.search import (
+    COST_METRICS,
+    RungResult,
+    TuneError,
+    TuneResult,
+    TuneSpec,
+    load_tune,
+    render_tune_markdown,
+    rung_plan,
+    run_tune,
+    winning_toml,
+    write_tune_report,
+)
+from repro.tuner.switcher import (
+    ArmStats,
+    EpsilonGreedy,
+    NoSwitch,
+    PolicyArm,
+    PolicySwitcher,
+    SwitchEvent,
+    Ucb1,
+    default_arms,
+)
+
+__all__ = [
+    "ArmStats",
+    "COST_METRICS",
+    "EpsilonGreedy",
+    "NoSwitch",
+    "PolicyArm",
+    "PolicySwitcher",
+    "RungResult",
+    "SwitchEvent",
+    "TuneError",
+    "TuneResult",
+    "TuneSpec",
+    "Ucb1",
+    "default_arms",
+    "load_tune",
+    "render_tune_markdown",
+    "rung_plan",
+    "run_tune",
+    "winning_toml",
+    "write_tune_report",
+]

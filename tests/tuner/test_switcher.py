@@ -1,0 +1,381 @@
+"""Tests for the online policy switcher (:mod:`repro.tuner.switcher`).
+
+Unit-level coverage runs the switcher against scripted scheduler/plane
+stand-ins (the switcher only touches a five-method surface), then the
+integration half pins the teardown-restore ledger, the summary
+columns, the observability wiring, and the committed E-TUNE
+acceptance: adaptive ≥ the best static bundle at equal or lower
+probe+replan cost.
+"""
+
+import pytest
+
+from repro.experiments import tuner as etune
+from repro.experiments.sweep import METRIC_COLUMNS
+from repro.pipeline.config import ServiceConfig
+from repro.pipeline.registry import admission_policy, tuner_registry
+from repro.runtime.control import NoPreemption, UrgentSloPreemption
+from repro.tuner import (
+    ArmStats,
+    EpsilonGreedy,
+    NoSwitch,
+    PolicyArm,
+    PolicySwitcher,
+    Ucb1,
+    default_arms,
+)
+
+ARMS = (
+    PolicyArm("baseline", "fifo", "none"),
+    PolicyArm("edf", "deadline-edf", "none"),
+    PolicyArm("edf+preempt", "deadline-edf", "urgent-slo"),
+)
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class FakeScheduler:
+    """The five-member surface the switcher actually touches."""
+
+    def __init__(self):
+        self.sim = FakeSim()
+        self.queued = []
+        self.max_concurrent = 2
+        self.admissions = []
+        self._stats = {"slo_attained": 0.0, "slo_missed": 0.0}
+
+    def set_admission(self, spec):
+        self.admissions.append(spec)
+
+    def stats(self):
+        return dict(self._stats)
+
+    def decide(self, attained=0.0, missed=0.0):
+        self._stats["slo_attained"] += attained
+        self._stats["slo_missed"] += missed
+
+
+class FakePlane:
+    def __init__(self):
+        self.policy = None
+
+
+def make_switcher(tuner="ucb1", cooldown=100.0, seed=42, **kwargs):
+    config = ServiceConfig(
+        regions=("us-east-1", "us-west-1"),
+        tuner=tuner,
+        switch_cooldown_s=cooldown,
+        seed=seed,
+    )
+    scheduler = FakeScheduler()
+    plane = FakePlane()
+    switcher = PolicySwitcher(scheduler, plane, config, arms=ARMS, **kwargs)
+    return switcher, scheduler, plane
+
+
+class TestDefaultArms:
+    def test_baseline_is_always_arm_zero(self):
+        config = ServiceConfig(regions=("us-east-1",), scheduler="priority")
+        arms = default_arms(config)
+        assert arms[0] == PolicyArm("baseline", "priority", "none")
+        assert [arm.name for arm in arms] == ["baseline", "edf", "edf+preempt"]
+
+    def test_edf_baseline_drops_the_redundant_edf_arm(self):
+        config = ServiceConfig(regions=("us-east-1",), scheduler="deadline-edf")
+        assert [a.name for a in default_arms(config)] == [
+            "baseline",
+            "edf+preempt",
+        ]
+
+    def test_preempting_baseline_drops_the_preempt_arm(self):
+        config = ServiceConfig(
+            regions=("us-east-1",),
+            scheduler="deadline-edf",
+            preemption="urgent-slo",
+        )
+        assert [a.name for a in default_arms(config)] == ["baseline"]
+
+
+class TestBandits:
+    def test_registry_knows_all_three(self):
+        assert set(tuner_registry.names()) >= {
+            "none",
+            "epsilon-greedy",
+            "ucb1",
+        }
+
+    def test_cold_arms_are_explored_in_order(self):
+        stats = [ArmStats(), ArmStats(), ArmStats()]
+        for bandit in (EpsilonGreedy(seed=1), Ucb1()):
+            picks = []
+            for _ in range(3):
+                index = bandit.choose(ARMS, stats)
+                picks.append(index)
+                stats[index].pulls += 1
+            assert picks == [0, 1, 2]
+            stats = [ArmStats(), ArmStats(), ArmStats()]
+
+    def test_epsilon_zero_exploits_the_best_mean(self):
+        bandit = EpsilonGreedy(epsilon=0.0, seed=5)
+        stats = [
+            ArmStats(pulls=2, rewarded=2, total_reward=0.5),
+            ArmStats(pulls=2, rewarded=2, total_reward=1.8),
+            ArmStats(pulls=2, rewarded=2, total_reward=1.0),
+        ]
+        assert bandit.choose(ARMS, stats) == 1
+
+    def test_epsilon_greedy_is_seed_deterministic(self):
+        stats = [
+            ArmStats(pulls=3, rewarded=3, total_reward=1.0),
+            ArmStats(pulls=3, rewarded=3, total_reward=2.0),
+            ArmStats(pulls=3, rewarded=3, total_reward=0.5),
+        ]
+        first_bandit = EpsilonGreedy(epsilon=0.5, seed=7)
+        first = [first_bandit.choose(ARMS, stats) for _ in range(8)]
+        second_bandit = EpsilonGreedy(epsilon=0.5, seed=7)
+        second = [second_bandit.choose(ARMS, stats) for _ in range(8)]
+        assert first == second
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            EpsilonGreedy(epsilon=1.5)
+
+    def test_ucb1_ties_break_toward_the_baseline(self):
+        stats = [
+            ArmStats(pulls=2, rewarded=2, total_reward=1.0),
+            ArmStats(pulls=2, rewarded=2, total_reward=1.0),
+            ArmStats(pulls=2, rewarded=2, total_reward=1.0),
+        ]
+        assert Ucb1().choose(ARMS, stats) == 0
+
+    def test_ucb1_bonus_revisits_undersampled_arms(self):
+        stats = [
+            ArmStats(pulls=50, rewarded=50, total_reward=45.0),
+            ArmStats(pulls=1, rewarded=1, total_reward=0.8),
+            ArmStats(pulls=50, rewarded=50, total_reward=40.0),
+        ]
+        assert Ucb1().choose(ARMS, stats) == 1
+
+
+class TestSwitcherUnit:
+    def test_tuner_none_is_observation_only(self):
+        with pytest.raises(ValueError, match="observation-only"):
+            make_switcher(tuner="none")
+
+    def test_no_switch_sentinel_always_picks_baseline(self):
+        assert NoSwitch().choose(ARMS, [ArmStats() for _ in ARMS]) == 0
+
+    def test_exploration_applies_each_arm_once(self):
+        switcher, scheduler, plane = make_switcher()
+        for tick in range(3):
+            switcher.tick(tick * 200.0)
+        # Cold start explored arms 0→1→2; arm 0 was already live.
+        assert switcher.switches == 2
+        assert scheduler.admissions == ["deadline-edf", "deadline-edf"]
+        assert isinstance(plane.policy, UrgentSloPreemption)
+        assert switcher.active == ARMS[2]
+        assert switcher.arms_explored == 3
+
+    def test_cooldown_gates_decisions(self):
+        switcher, _, _ = make_switcher(cooldown=100.0)
+        switcher.tick(0.0)
+        switcher.tick(50.0)  # inside the window: observe only
+        assert sum(s.pulls for s in switcher.stats.values()) == 1
+        switcher.tick(100.0)
+        assert sum(s.pulls for s in switcher.stats.values()) == 2
+
+    def test_observation_credits_the_live_arm(self):
+        switcher, scheduler, _ = make_switcher()
+        switcher.tick(0.0)
+        scheduler.decide(attained=3.0, missed=1.0)
+        switcher.tick(200.0)
+        entry = switcher.stats[("calm-steady", "baseline")]
+        assert entry.rewarded == 1
+        assert entry.total_reward == pytest.approx(0.75)
+
+    def test_empty_windows_teach_nothing(self):
+        switcher, _, _ = make_switcher()
+        switcher.tick(0.0)
+        switcher.tick(200.0)
+        assert all(s.rewarded == 0 for s in switcher.stats.values())
+
+    def test_regime_tracks_queue_pressure(self):
+        switcher, scheduler, _ = make_switcher()
+        assert switcher.regime(0.0) == "calm-steady"
+        scheduler.queued = ["a", "b", "c"]
+        assert switcher.regime(0.0) == "calm-backlogged"
+
+    def test_regime_reads_warehouse_utilization(self):
+        class Row:
+            bucket_start = 0.0
+            p95_mbps = 90.0
+            capacity_mbps = 100.0
+
+        class Log:
+            size = 1
+
+            def rollup(self, granularity, by):
+                return [Row()]
+
+        switcher, _, _ = make_switcher(warehouse=lambda: Log())
+        assert switcher.regime(60.0) == "hot-steady"
+
+    def test_cross_regime_stats_seed_new_regimes(self):
+        switcher, scheduler, _ = make_switcher()
+        for tick in range(3):
+            switcher.tick(tick * 200.0)
+        # A fresh regime must not present every arm as cold (which
+        # would restart exploration at arm 0 on every regime shift).
+        scheduler.queued = ["a", "b", "c"]
+        views = switcher._selection_stats(switcher.regime(600.0))
+        assert any(view.pulls for view in views)
+
+    def test_close_restores_the_baseline(self):
+        switcher, scheduler, plane = make_switcher()
+        for tick in range(3):
+            switcher.tick(tick * 200.0)
+        assert switcher.active != switcher.baseline
+        switcher.close()
+        assert switcher.active == switcher.baseline
+        assert switcher.restores == 1
+        assert scheduler.admissions[-1] == "fifo"
+        assert isinstance(plane.policy, NoPreemption)
+        assert switcher.events[-1].action == "restore"
+
+    def test_close_is_idempotent_and_dead(self):
+        switcher, scheduler, _ = make_switcher()
+        for tick in range(3):
+            switcher.tick(tick * 200.0)
+        switcher.close()
+        applied = list(scheduler.admissions)
+        switcher.close()
+        switcher.tick(10_000.0)
+        assert scheduler.admissions == applied
+        assert switcher.restores == 1
+
+    def test_close_with_baseline_live_is_a_noop(self):
+        switcher, scheduler, _ = make_switcher()
+        switcher.tick(0.0)  # first pull is the (already live) baseline
+        switcher.close()
+        assert switcher.restores == 0
+        assert scheduler.admissions == []
+
+    def test_apply_gauger_callback_fires_for_gauger_arms(self):
+        applied = []
+        arms = (
+            PolicyArm("baseline", "fifo", "none"),
+            PolicyArm("passive", "fifo", "none", gauger="passive-telemetry"),
+        )
+        config = ServiceConfig(
+            regions=("us-east-1",), tuner="ucb1", switch_cooldown_s=10.0
+        )
+        switcher = PolicySwitcher(
+            FakeScheduler(),
+            FakePlane(),
+            config,
+            arms=arms,
+            apply_gauger=applied.append,
+        )
+        switcher.tick(0.0)
+        switcher.tick(20.0)
+        assert applied == ["passive-telemetry"]
+
+    def test_arm_stats_aggregates_over_regimes(self):
+        switcher, scheduler, _ = make_switcher()
+        switcher.tick(0.0)
+        scheduler.decide(attained=1.0)
+        scheduler.queued = ["a", "b", "c"]  # regime shift
+        switcher.tick(200.0)
+        stats = switcher.arm_stats()
+        assert stats["baseline"]["pulls"] >= 1.0
+        assert stats["baseline"]["rewarded"] == 1.0
+        assert stats["baseline"]["mean_reward"] == pytest.approx(1.0)
+
+
+class TestServiceIntegration:
+    @pytest.fixture(scope="class")
+    def adaptive(self):
+        """One full adaptive E-TUNE run (stopped, summary cached)."""
+        service = etune.run_service("adaptive")
+        return service
+
+    def test_teardown_restores_the_baseline_policies(self, adaptive):
+        # Satellite regression: however many swaps happened mid-run,
+        # stop() leaves the *configured* bundle installed.
+        switcher = adaptive.control.switcher
+        assert switcher is not None
+        assert switcher.switches > 0
+        assert switcher.active == switcher.baseline
+        assert type(adaptive.scheduler.admission) is type(
+            admission_policy(etune.MODES["adaptive"][0])
+        )
+        # close() is idempotent through repeated stop().
+        restores = switcher.restores
+        adaptive.stop()
+        assert switcher.restores == restores
+
+    def test_summary_carries_the_tuner_ledger(self, adaptive):
+        summary = adaptive.summary()
+        assert summary.policy_switches == adaptive.control.switcher.switches
+        assert summary.tuner_arm_stats
+        for bucket in summary.tuner_arm_stats.values():
+            assert {"pulls", "rewarded", "total_reward", "mean_reward"} <= set(
+                bucket
+            )
+        row = summary.to_row()
+        assert row["policy_switches"] == float(summary.policy_switches)
+        assert row["tuner_arms_explored"] == float(
+            len(summary.tuner_arm_stats)
+        )
+        assert set(METRIC_COLUMNS) <= set(row)
+
+    def test_switches_are_traced_and_scraped(self, adaptive):
+        events = adaptive.hub.trace.events("policy-switch")
+        assert events
+        assert events[0].detail["action"] in ("switch", "restore")
+        assert events[0].detail["previous"] != events[0].subject
+        text = adaptive.hub.render_prometheus()
+        assert "wanify_policy_switches_total" in text
+        assert "wanify_tuner_arm_pulls" in text
+
+    def test_static_modes_build_no_switcher(self):
+        config = etune.tuner_config("fifo")
+        assert config.tuner == "none"
+        from repro.runtime.service import PipelineService
+
+        service = PipelineService.build(config)
+        assert service.control is None
+        summary_defaults = ServiceConfig(regions=("us-east-1",))
+        assert summary_defaults.tuner == "none"
+
+
+class TestETuneAcceptance:
+    """The committed drifting-scenario comparison (experiment E-TUNE)."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return etune.run(fast=True)
+
+    def test_adaptive_meets_or_beats_the_best_static(self, results):
+        best = results[etune.best_static(results)]
+        adaptive = results["adaptive"]
+        assert adaptive.slo_attainment >= best.slo_attainment
+        assert etune.cost_usd(adaptive) <= etune.cost_usd(best) + 1e-9
+
+    def test_the_switcher_actually_switched(self, results):
+        adaptive = results["adaptive"]
+        assert adaptive.policy_switches > 0
+        assert len(adaptive.tuner_arm_stats) == 3
+
+    def test_static_modes_never_switch(self, results):
+        for mode in ("fifo", "edf", "edf+preempt"):
+            assert results[mode].policy_switches == 0
+            assert results[mode].tuner_arm_stats == {}
+
+    def test_render_names_the_verdict(self, results):
+        text = etune.render(results)
+        assert "adaptive vs best static" in text
+        assert "switches" in text
