@@ -19,13 +19,18 @@ from pathlib import Path
 
 from repro.experiments import online_replanning
 from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.dag import JobSpec, StageSpec
 from repro.tuner import load_tune, run_tune, rung_plan
 from repro.gda.systems.tetrium import TetriumPolicy
 from repro.gda.workloads.terasort import terasort_job
-from repro.net.dynamics import FluctuationModel
+from repro.net.dynamics import FluctuationModel, StaticModel
+from repro.net.simulator import NetworkSimulator
+from repro.net.topology import Topology
 from repro.runtime.drift import ReplanEvent
 from repro.runtime.observability import MetricsLog
 from repro.runtime.scheduler import JobScheduler
+from repro.runtime.scheduling import SLO
+from repro.runtime.scheduling.shards import ShardedScheduler
 from repro.runtime.service import PipelineService, ServiceConfig, default_job_mix
 
 REGIONS = ("us-east-1", "us-west-1", "eu-west-1", "ap-southeast-1")
@@ -164,6 +169,79 @@ def _timed_tune_search() -> tuple[int, int, float]:
     return result.cells_executed, unpruned, wall_s
 
 
+#: Concurrent single-pair transfers in the kernel micro-benchmark —
+#: deep in the vectorized kernel's territory (the scalar path walks
+#: every transfer per event; the batched path advances them as one
+#: numpy expression).
+_KERNEL_TRANSFERS = 3000
+
+#: The speedup the vectorized kernel must deliver on that workload.
+MIN_KERNEL_SPEEDUP = 5.0
+
+
+def _sim_event_rate(kernel: str) -> tuple[float, float, int]:
+    """(events/wall-s, wall seconds, events) draining one crowded pair."""
+    topology = Topology.build(("us-east-1", "us-west-1"), "t2.medium")
+    net = NetworkSimulator(topology, fluctuation=StaticModel(), kernel=kernel)
+    for i in range(_KERNEL_TRANSFERS):
+        # Strictly increasing sizes: every transfer completes at its
+        # own instant, so each completion re-shares the surviving
+        # crowd — the scalar kernel's quadratic worst case.
+        net.start_transfer("us-east-1", "us-west-1", 100.0 + 0.25 * i)
+    start = time.perf_counter()
+    net.sim.run()
+    wall_s = time.perf_counter() - start
+    events = net.sim.events_processed
+    return events / wall_s, wall_s, events
+
+
+def _bench_job(name: str) -> JobSpec:
+    pair = ("us-east-1", "us-west-1")
+    return JobSpec(
+        name=name,
+        stages=[
+            StageSpec(
+                "map", cpu_s_per_mb=0.01, output_ratio=1.0, shuffle=False
+            ),
+            StageSpec(
+                "reduce", cpu_s_per_mb=0.01, output_ratio=0.1, shuffle=True
+            ),
+        ],
+        input_mb_by_dc={k: 40.0 for k in pair},
+    )
+
+
+def _sharded_drain(n_jobs: int = 400) -> tuple[dict, float]:
+    """Drain a skewed multi-tenant burst through 4 shards.
+
+    Half the jobs belong to one hot tenant, so the drain exercises
+    work-stealing hard; the weather and routing are seeded, making
+    ``steals`` a deterministic count.
+    """
+    cluster = GeoCluster.build(
+        ("us-east-1", "us-west-1"),
+        "t2.medium",
+        fluctuation=FluctuationModel(seed=3),
+        kernel="vectorized",
+    )
+    scheduler = ShardedScheduler(
+        cluster, shards=4, max_concurrent=8, admission="deadline-edf"
+    )
+    start = time.perf_counter()
+    for i in range(n_jobs):
+        tenant = "hot" if i % 2 == 0 else f"tenant{i % 5}"
+        scheduler.submit(
+            _bench_job(f"shard-{i}"),
+            slo=SLO(
+                deadline_s=3600.0 + ((i * 7919) % n_jobs) * 30.0,
+                tenant=tenant,
+            ),
+        )
+    cluster.network.sim.run()
+    wall_s = time.perf_counter() - start
+    return scheduler.stats(), wall_s
+
+
 def test_runtime_bench_report(capsys):
     """Write BENCH_runtime.json and pin the metrics-log overhead < 5%."""
     row, wall_s = _timed_service_run()
@@ -175,6 +253,10 @@ def test_runtime_bench_report(capsys):
     )
     replan_ms = _replan_latency_ms()
     tuner_cells, tuner_unpruned, tune_wall_s = _timed_tune_search()
+    scalar_rate, scalar_wall, scalar_events = _sim_event_rate("scalar")
+    vec_rate, vec_wall, vec_events = _sim_event_rate("vectorized")
+    kernel_speedup = scalar_wall / vec_wall
+    sharded_stats, sharded_wall = _sharded_drain()
     report = {
         "completed_jobs": row["completed"],
         "jobs_per_wall_s": row["completed"] / wall_s,
@@ -188,6 +270,10 @@ def test_runtime_bench_report(capsys):
         "tuner_cells_executed": tuner_cells,
         "tuner_unpruned_cell_runs": tuner_unpruned,
         "tuner_cells_per_s": tuner_cells / tune_wall_s,
+        "sim_events_per_s": vec_rate,
+        "sim_kernel_speedup": kernel_speedup,
+        "sharded_jobs_per_wall_s": sharded_stats["completed"] / sharded_wall,
+        "steal_count": sharded_stats["steals"],
     }
     path = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
     path.write_text(json.dumps(report, indent=2) + "\n")
@@ -201,8 +287,21 @@ def test_runtime_bench_report(capsys):
             f"{tuner_cells}/{tuner_unpruned} cell-runs at "
             f"{report['tuner_cells_per_s']:.1f} cells/wall-s → {path.name}"
         )
+        print(
+            f"transfer kernel: {vec_rate:.0f} events/s vectorized vs "
+            f"{scalar_rate:.0f} scalar ({kernel_speedup:.1f}× over "
+            f"{vec_events} events); sharded drain "
+            f"{report['sharded_jobs_per_wall_s']:.0f} jobs/wall-s, "
+            f"{sharded_stats['steals']:.0f} steals"
+        )
     assert row["completed"] == 6
     assert row["rollup_rows"] > 0 and row["events_traced"] > 0
     assert overhead_pct < MAX_LOG_OVERHEAD_PCT
     # Successive halving must beat the unpruned cells × rungs product.
     assert tuner_cells < tuner_unpruned
+    # Both kernels drain the same workload through the same events —
+    # the vectorized one just walks them ≥5× faster.
+    assert scalar_events == vec_events
+    assert kernel_speedup >= MIN_KERNEL_SPEEDUP
+    assert sharded_stats["completed"] == 400.0
+    assert sharded_stats["steals"] > 0

@@ -39,6 +39,7 @@ DETERMINISTIC = (
     "events_traced",
     "tuner_cells_executed",
     "tuner_unpruned_cell_runs",
+    "steal_count",
 )
 
 #: Wall-clock metrics: name → +1 when higher is better, -1 when lower.
@@ -49,6 +50,9 @@ WALL_CLOCK = {
     "metrics_log_ns_per_sample": -1,
     "metrics_log_overhead_pct": -1,
     "tuner_cells_per_s": +1,
+    "sim_events_per_s": +1,
+    "sim_kernel_speedup": +1,
+    "sharded_jobs_per_wall_s": +1,
 }
 
 #: Hard absolute ceiling for the warehouse ingest overhead (percent).
@@ -67,6 +71,14 @@ def check(
 ) -> list[str]:
     """Every failed comparison as a printable complaint."""
     complaints = []
+    # A benchmark row silently disappearing is itself a regression —
+    # every metric the baseline pins must still be reported.
+    for name in sorted(baseline):
+        if name not in current:
+            complaints.append(
+                f"{name}: present in the baseline but missing from the "
+                f"current report (benchmark row dropped?)"
+            )
     for name in DETERMINISTIC:
         if name not in baseline:
             continue

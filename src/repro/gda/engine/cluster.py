@@ -37,6 +37,7 @@ class GeoCluster:
         time_offset: float = 0.0,
         prices: Optional[PriceBook] = None,
         profile: NetworkProfile = VPC_PEERING,
+        kernel: str = "scalar",
     ) -> "GeoCluster":
         """Build a cluster with a fresh simulator."""
         topology = Topology.build(region_keys, vm_key, vms_per_dc, profile)
@@ -44,6 +45,7 @@ class GeoCluster:
             topology,
             fluctuation=fluctuation,
             time_offset=time_offset,
+            kernel=kernel,
         )
         return cls(topology, network, prices or PriceBook())
 
@@ -54,11 +56,15 @@ class GeoCluster:
         fluctuation: Optional[FluctuationModel | StaticModel] = None,
         time_offset: float = 0.0,
         prices: Optional[PriceBook] = None,
+        kernel: str = "scalar",
     ) -> "GeoCluster":
         """Build a cluster around an existing topology (keeps its
         profile and VM layout)."""
         network = NetworkSimulator(
-            topology, fluctuation=fluctuation, time_offset=time_offset
+            topology,
+            fluctuation=fluctuation,
+            time_offset=time_offset,
+            kernel=kernel,
         )
         return cls(topology, network, prices or PriceBook())
 

@@ -25,18 +25,21 @@ Model summary (see DESIGN.md §5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Callable, Optional
 
-import numpy as np
-
 from repro.net import tcp
+from repro.net.batch import VectorKernel, allocate_batch, load_numpy
 from repro.net.dynamics import FluctuationModel, StaticModel
 from repro.net.matrix import BandwidthMatrix
 from repro.net.sharing import PairFlow, allocate
 from repro.net.topology import Topology
 from repro.net.traffic_control import TrafficController
 from repro.sim.kernel import Event, Simulator
+
+#: Valid values for the ``kernel`` constructor knob.
+KERNELS = ("scalar", "vectorized")
 
 #: Intra-DC (LAN) rate per transfer, Mbps.  High enough that it never
 #: bottlenecks a geo-analytics stage.
@@ -115,11 +118,37 @@ class NetworkSimulator:
         fluctuation: Optional[FluctuationModel | StaticModel] = None,
         knee: int = tcp.DEFAULT_KNEE,
         time_offset: float = 0.0,
+        kernel: str = "scalar",
     ) -> None:
         self.topology = topology
         self.sim = sim or Simulator()
         self.fluctuation = fluctuation if fluctuation is not None else StaticModel()
         self.knee = knee
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+            )
+        #: Whether ``kernel="vectorized"`` was requested but numpy was
+        #: unavailable, forcing the scalar path.
+        self.kernel_fallback = False
+        self._vec: Optional[VectorKernel] = None
+        self._np = None
+        if kernel == "vectorized":
+            np_mod = load_numpy()
+            if np_mod is None:
+                warnings.warn(
+                    "kernel='vectorized' requested but numpy is not "
+                    "importable; falling back to the scalar kernel",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self.kernel_fallback = True
+                kernel = "scalar"
+            else:
+                self._np = np_mod
+                self._vec = VectorKernel(np_mod)
+        #: Effective advancement kernel ("scalar" after a fallback).
+        self.kernel = kernel
         #: Offset added to simulator time when evaluating network
         #: weather — lets measurement replays probe "the same network at
         #: a different hour" without restarting the clock.
@@ -187,8 +216,12 @@ class NetworkSimulator:
             return transfer
         if src == dst:
             self._lan_active.append(transfer)
+            if self._vec is not None:
+                self._vec.add(VectorKernel.LAN, transfer)
         else:
             self._active.setdefault((src, dst), []).append(transfer)
+            if self._vec is not None:
+                self._vec.add((src, dst), transfer)
         self._reallocate()
         return transfer
 
@@ -204,11 +237,15 @@ class NetworkSimulator:
         if transfer.src == transfer.dst:
             if transfer in self._lan_active:
                 self._lan_active.remove(transfer)
+                if self._vec is not None:
+                    self._vec.remove(VectorKernel.LAN, transfer)
             return
         pair = (transfer.src, transfer.dst)
         bucket = self._active.get(pair)
         if bucket and transfer in bucket:
             bucket.remove(transfer)
+            if self._vec is not None:
+                self._vec.remove(pair, transfer)
             if not bucket:
                 del self._active[pair]
 
@@ -241,19 +278,25 @@ class NetworkSimulator:
         """Advance all active transfers to the current time."""
         dt = self.sim.now - self._last_progress_time
         if dt > 0:
-            for bucket in self._active.values():
-                for transfer in bucket:
+            if self._vec is not None:
+                self._vec.progress(dt)
+            else:
+                for bucket in self._active.values():
+                    for transfer in bucket:
+                        transfer.transferred_mbits = min(
+                            transfer.size_mbits,
+                            transfer.transferred_mbits + transfer.rate_mbps * dt,
+                        )
+                for transfer in self._lan_active:
                     transfer.transferred_mbits = min(
                         transfer.size_mbits,
                         transfer.transferred_mbits + transfer.rate_mbps * dt,
                     )
-            for transfer in self._lan_active:
-                transfer.transferred_mbits = min(
-                    transfer.size_mbits,
-                    transfer.transferred_mbits + transfer.rate_mbps * dt,
-                )
             for (src, dst), bucket in self._active.items():
-                rate = sum(t.rate_mbps for t in bucket)
+                if self._vec is not None:
+                    rate = self._vec.rate_total((src, dst))
+                else:
+                    rate = sum(t.rate_mbps for t in bucket)
                 stats = self._stats.setdefault((src, dst), PairStats())
                 stats.mbits += rate * dt
                 stats.active_seconds += dt
@@ -307,14 +350,21 @@ class NetworkSimulator:
                 dc.ingress_cap_mbps
                 * tcp.vm_efficiency(in_conns[i] // max(1, dc.num_vms))
             )
-        rates = allocate(flows, egress, ingress)
-        for (src, dst), rate in zip(pairs, rates):
-            bucket = self._active[(src, dst)]
-            share = rate / len(bucket)
-            for transfer in bucket:
-                transfer.rate_mbps = share
-        for transfer in self._lan_active:
-            transfer.rate_mbps = LAN_MBPS
+        if self._vec is not None:
+            rates = allocate_batch(flows, egress, ingress, np=self._np)
+            for (src, dst), rate in zip(pairs, rates):
+                share = rate / len(self._active[(src, dst)])
+                self._vec.set_share((src, dst), share)
+            self._vec.set_share(VectorKernel.LAN, LAN_MBPS)
+        else:
+            rates = allocate(flows, egress, ingress)
+            for (src, dst), rate in zip(pairs, rates):
+                bucket = self._active[(src, dst)]
+                share = rate / len(bucket)
+                for transfer in bucket:
+                    transfer.rate_mbps = share
+            for transfer in self._lan_active:
+                transfer.rate_mbps = LAN_MBPS
 
         self._schedule_completion()
         self._schedule_weather()
@@ -323,14 +373,19 @@ class NetworkSimulator:
         if self._completion_event is not None:
             self._completion_event.cancel()
             self._completion_event = None
-        eta = float("inf")
-        for bucket in self._active.values():
-            for transfer in bucket:
+        if self._vec is not None:
+            eta = self._vec.min_eta()
+        else:
+            eta = float("inf")
+            for bucket in self._active.values():
+                for transfer in bucket:
+                    if transfer.rate_mbps > 0:
+                        eta = min(
+                            eta, transfer.remaining_mbits / transfer.rate_mbps
+                        )
+            for transfer in self._lan_active:
                 if transfer.rate_mbps > 0:
                     eta = min(eta, transfer.remaining_mbits / transfer.rate_mbps)
-        for transfer in self._lan_active:
-            if transfer.rate_mbps > 0:
-                eta = min(eta, transfer.remaining_mbits / transfer.rate_mbps)
         if eta < float("inf"):
             self._completion_event = self.sim.schedule(
                 eta, self._on_completion, priority=1
@@ -339,12 +394,15 @@ class NetworkSimulator:
     def _on_completion(self) -> None:
         self._completion_event = None
         self._progress()
-        finished: list[Transfer] = []
-        for bucket in self._active.values():
-            finished.extend(t for t in bucket if t.remaining_mbits <= 1e-6)
-        finished.extend(
-            t for t in self._lan_active if t.remaining_mbits <= 1e-6
-        )
+        if self._vec is not None:
+            finished = self._vec.finished()
+        else:
+            finished = []
+            for bucket in self._active.values():
+                finished.extend(t for t in bucket if t.remaining_mbits <= 1e-6)
+            finished.extend(
+                t for t in self._lan_active if t.remaining_mbits <= 1e-6
+            )
         for transfer in finished:
             self._finish(transfer)
         self._reallocate()
@@ -377,6 +435,8 @@ class NetworkSimulator:
         the control plane's bandwidth governor reads this to attribute
         per-pair WAN share to jobs before shifting it.
         """
+        if self._vec is not None:
+            self._vec.sync_objects()
         out: list[Transfer] = []
         for bucket in self._active.values():
             out.extend(bucket)
@@ -385,7 +445,11 @@ class NetworkSimulator:
     def current_rate(self, src: str, dst: str) -> float:
         """Instantaneous aggregate rate of an ordered pair (Mbps)."""
         if src == dst:
+            if self._vec is not None:
+                return self._vec.rate_total(VectorKernel.LAN)
             return sum(t.rate_mbps for t in self._lan_active)
+        if self._vec is not None:
+            return self._vec.rate_total((src, dst))
         bucket = self._active.get((src, dst), [])
         return sum(t.rate_mbps for t in bucket)
 
@@ -393,7 +457,10 @@ class NetworkSimulator:
         """Instantaneous rates for all pairs."""
         out = BandwidthMatrix.zeros(self.topology.keys)
         for (src, dst), bucket in self._active.items():
-            out.set(src, dst, sum(t.rate_mbps for t in bucket))
+            if self._vec is not None:
+                out.set(src, dst, self._vec.rate_total((src, dst)))
+            else:
+                out.set(src, dst, sum(t.rate_mbps for t in bucket))
         return out
 
     def pair_statistics(self) -> dict[tuple[str, str], PairStats]:

@@ -113,6 +113,17 @@ class ServiceConfig(PipelineConfig):
     #: ``priority``, ``deadline-edf``, ``fair-share``, or anything
     #: registered from user code).
     scheduler: str = config_field("fifo", help="admission policy (registered name)")
+    #: Scheduler shard count.  ``1`` keeps the single shared-queue
+    #: ``JobScheduler`` (byte-identical to the pre-sharding service);
+    #: ``>1`` builds a ``ShardedScheduler`` hashing tenants across N
+    #: independent shards with work-stealing between them on idle.
+    scheduler_shards: int = config_field(1, help="scheduler shards (1 = single shared queue)")
+    #: Transfer-advancement kernel for the WAN simulator: ``scalar``
+    #: advances each transfer from Python (the reference path);
+    #: ``vectorized`` advances each link's concurrent transfers as one
+    #: numpy vector (falls back to scalar, with a warning, when numpy
+    #: is unavailable).
+    kernel: str = config_field("scalar", help="transfer kernel: scalar or vectorized")
     #: Default per-job SLO deadline, seconds from submission.  Unset
     #: means jobs carry no deadline (and SLO attainment reads 100%).
     slo_deadline_s: Optional[float] = config_field(

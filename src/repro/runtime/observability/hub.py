@@ -65,6 +65,9 @@ REQUIRED_METRIC_FAMILIES: tuple[str, ...] = (
     "wanify_metrics_log_entries",
     "wanify_policy_switches_total",
     "wanify_tuner_arm_pulls",
+    "wanify_scheduler_shards",
+    "wanify_work_steals_total",
+    "wanify_kernel_fallback",
     "wanify_link_estimate_mbps",
     "wanify_job_latency_seconds",
 )
@@ -75,6 +78,7 @@ _JOB_COUNTER = {
     "admit": "admitted",
     "finish": "completed",
     "preempt": "preempted",
+    "steal": "stolen",
 }
 
 
@@ -101,6 +105,7 @@ class ObservabilityHub:
             "admitted": 0,
             "completed": 0,
             "preempted": 0,
+            "stolen": 0,
             "drift": 0,
             "gauges": 0,
         }
@@ -321,6 +326,30 @@ class ObservabilityHub:
         if switcher is not None:
             for arm_name, stats in switcher.arm_stats().items():
                 pulls.set(stats["pulls"], arm=arm_name)
+
+        registry.gauge(
+            "wanify_scheduler_shards",
+            "Scheduler shards serving the run (1 = single queue).",
+        ).set(getattr(scheduler, "shard_count", 1))
+        counter(
+            "wanify_work_steals_total",
+            "Queued tickets moved between shards by work-stealing.",
+            getattr(scheduler, "steal_count", 0),
+        )
+        registry.gauge(
+            "wanify_kernel_fallback",
+            "1 when kernel='vectorized' degraded to scalar (no numpy).",
+        ).set(
+            1.0
+            if getattr(service.network, "kernel_fallback", False)
+            else 0.0
+        )
+        shard_queue = registry.gauge(
+            "wanify_shard_jobs_queued",
+            "Queued jobs per scheduler shard (label: shard).",
+        )
+        for index, shard in enumerate(getattr(scheduler, "shards", [])):
+            shard_queue.set(len(shard.queued), shard=str(index))
 
         estimates = registry.gauge(
             "wanify_link_estimate_mbps",

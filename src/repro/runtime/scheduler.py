@@ -54,6 +54,8 @@ __all__ = [
     "JobScheduler",
     "JobTicket",
     "PolicySpec",
+    "ZERO_STATS",
+    "aggregate_stats",
     "jain_index",
 ]
 
@@ -63,6 +65,68 @@ PolicySpec = PlacementPolicy | str | type | None
 
 #: An admission-policy spec: an instance, a registered name, or a class.
 AdmissionSpec = AdmissionPolicy | str | type
+
+#: Every key :func:`aggregate_stats` reports, with its
+#: before-anything-finished value.  Kept explicit (and returned
+#: wholesale in the empty case) so a stats call mid-run — jobs queued
+#: or running, none finished — can never divide by a zero completion
+#: count.
+ZERO_STATS: dict[str, float] = {
+    "completed": 0.0,
+    "mean_wait_s": 0.0,
+    "mean_jct_s": 0.0,
+    "total_jct_s": 0.0,
+    "makespan_s": 0.0,
+    "jobs_per_hour": 0.0,
+    "fairness": 1.0,
+    "slo_attained": 0.0,
+    "slo_missed": 0.0,
+    "slo_attainment": 1.0,
+}
+
+
+def aggregate_stats(
+    done: list["JobTicket"], first_submit: Optional[float]
+) -> dict[str, float]:
+    """Completion statistics over any collection of finished tickets.
+
+    The shared aggregation behind :meth:`JobScheduler.stats` and
+    :meth:`~repro.runtime.scheduling.shards.ShardedScheduler.stats` —
+    a sharded scheduler merges its shards' completed tickets and
+    reports one population, so single- and multi-shard runs are
+    directly comparable.  Returns :data:`ZERO_STATS` wholesale before
+    anything finishes; note the *ratio* metrics' zero values are 1.0
+    (``fairness``, ``slo_attainment``: nothing has been unfair or
+    broken yet), while the counters and averages are 0.0.
+    """
+    if not done or first_submit is None:
+        return dict(ZERO_STATS)
+    makespan = max(t.finished_s for t in done) - first_submit
+    throughputs = [
+        t.result.wan_gb * 8.0 * 1024.0 / t.result.network_s
+        for t in done
+        if t.result is not None and t.result.network_s > 0
+    ]
+    attained, missed = attainment(done)
+    with_deadline = attained + missed
+    return {
+        "completed": float(len(done)),
+        "mean_wait_s": sum(t.wait_s for t in done) / len(done),
+        "mean_jct_s": sum(t.jct_s for t in done) / len(done),
+        "total_jct_s": sum(t.jct_s for t in done),
+        "makespan_s": makespan,
+        "jobs_per_hour": (
+            len(done) / (makespan / 3600.0) if makespan > 0 else 0.0
+        ),
+        "fairness": jain_index(throughputs),
+        "slo_attained": float(attained),
+        "slo_missed": float(missed),
+        # Deadline-free runs report perfect attainment — nothing
+        # was promised, so nothing was broken.
+        "slo_attainment": (
+            attained / with_deadline if with_deadline > 0 else 1.0
+        ),
+    }
 
 
 @dataclass
@@ -370,32 +434,15 @@ class JobScheduler:
 
     # -- statistics -----------------------------------------------------
 
-    #: Every key :meth:`stats` reports, with its before-anything-
-    #: finished value.  Kept explicit (and returned wholesale in the
-    #: empty case) so a stats call mid-run — jobs queued or running,
-    #: none finished — can never divide by a zero completion count.
-    ZERO_STATS: dict[str, float] = {
-        "completed": 0.0,
-        "mean_wait_s": 0.0,
-        "mean_jct_s": 0.0,
-        "total_jct_s": 0.0,
-        "makespan_s": 0.0,
-        "jobs_per_hour": 0.0,
-        "fairness": 1.0,
-        "slo_attained": 0.0,
-        "slo_missed": 0.0,
-        "slo_attainment": 1.0,
-    }
+    #: Class-level alias of the module :data:`ZERO_STATS` (kept for
+    #: callers that spelled it ``JobScheduler.ZERO_STATS``).
+    ZERO_STATS: dict[str, float] = ZERO_STATS
 
     def stats(self) -> dict[str, float]:
         """Aggregate completion statistics for the run so far.
 
-        Safe at any point in a run: before the first completion (even
-        with jobs queued or running) the :data:`ZERO_STATS` mapping is
-        returned wholesale and nothing divides by the empty completion
-        count — note the *ratio* metrics' zero values are 1.0
-        (``fairness``, ``slo_attainment``: nothing has been unfair or
-        broken yet), while the counters and averages are 0.0.
+        Safe at any point in a run — see :func:`aggregate_stats` for
+        the key set and the empty-case semantics.
 
         Control-plane activity is visible here only indirectly (a
         preempted-and-resumed job's ``wait_s`` includes its re-queue
@@ -405,32 +452,4 @@ class JobScheduler:
         this dict with the
         :class:`~repro.runtime.control.plane.ControlPlane` stats.
         """
-        done = self.completed
-        if not done or self._first_submit is None:
-            return dict(self.ZERO_STATS)
-        makespan = max(t.finished_s for t in done) - self._first_submit
-        throughputs = [
-            t.result.wan_gb * 8.0 * 1024.0 / t.result.network_s
-            for t in done
-            if t.result is not None and t.result.network_s > 0
-        ]
-        attained, missed = attainment(done)
-        with_deadline = attained + missed
-        return {
-            "completed": float(len(done)),
-            "mean_wait_s": sum(t.wait_s for t in done) / len(done),
-            "mean_jct_s": sum(t.jct_s for t in done) / len(done),
-            "total_jct_s": sum(t.jct_s for t in done),
-            "makespan_s": makespan,
-            "jobs_per_hour": (
-                len(done) / (makespan / 3600.0) if makespan > 0 else 0.0
-            ),
-            "fairness": jain_index(throughputs),
-            "slo_attained": float(attained),
-            "slo_missed": float(missed),
-            # Deadline-free runs report perfect attainment — nothing
-            # was promised, so nothing was broken.
-            "slo_attainment": (
-                attained / with_deadline if with_deadline > 0 else 1.0
-            ),
-        }
+        return aggregate_stats(self.completed, self._first_submit)

@@ -59,6 +59,7 @@ __all__ = [
     "FifoAdmission",
     "PriorityAdmission",
     "SchedulerView",
+    "ShardedScheduler",
     "attainment",
     "deadline_met",
     "jain_index",
@@ -66,3 +67,18 @@ __all__ = [
     "spread_slos",
     "tenant_of",
 ]
+
+
+def __getattr__(name: str):
+    """Lazy re-export of the sharded scheduler.
+
+    :mod:`~repro.runtime.scheduling.shards` imports
+    :mod:`repro.runtime.scheduler`, which imports this package — an
+    eager import here would be circular, so the symbol resolves on
+    first attribute access instead.
+    """
+    if name == "ShardedScheduler":
+        from repro.runtime.scheduling.shards import ShardedScheduler
+
+        return ShardedScheduler
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

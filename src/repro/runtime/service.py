@@ -60,6 +60,7 @@ from repro.runtime.observability.hub import ObservabilityHub
 from repro.runtime.scenarios import scenario
 from repro.runtime.scheduler import JobScheduler, JobTicket, PolicySpec
 from repro.runtime.scheduling import SLO, spread_slos
+from repro.runtime.scheduling.shards import ShardedScheduler
 from repro.runtime.telemetry import TelemetryStore
 from repro.sim.kernel import Process
 from repro.core.agent import LocalAgent
@@ -146,6 +147,16 @@ class ServiceSummary:
     #: arms it actually pulled.
     policy_switches: int = 0
     tuner_arm_stats: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Scale-out statistics: how many scheduler shards served the run
+    #: (1 = the plain single-queue scheduler) and how many queued
+    #: tickets work-stealing moved between them (always 0 unsharded).
+    scheduler_shards: int = 1
+    work_steals: int = 0
+    #: The transfer-advancement kernel the WAN simulator ran
+    #: (``scalar`` or ``vectorized``), and whether a requested
+    #: vectorized kernel silently degraded because numpy was missing.
+    kernel: str = "scalar"
+    kernel_fallback: bool = False
     events: list[ReplanEvent] = field(default_factory=list)
 
     def to_row(self) -> dict[str, float]:
@@ -178,6 +189,9 @@ class ServiceSummary:
             "metrics_scrapes": float(self.metrics_scrapes),
             "policy_switches": float(self.policy_switches),
             "tuner_arms_explored": float(len(self.tuner_arm_stats)),
+            "scheduler_shards": float(self.scheduler_shards),
+            "work_steals": float(self.work_steals),
+            "kernel_fallback": float(self.kernel_fallback),
         }
 
 
@@ -207,8 +221,7 @@ class PipelineService:
         binder = getattr(self.pipeline.gauger, "bind_telemetry", None)
         if callable(binder):
             binder(self.telemetry)
-        self.scheduler = JobScheduler(
-            cluster,
+        scheduler_kwargs = dict(
             max_concurrent=self.config.max_concurrent,
             decision_bw=lambda: self.predicted,
             default_policy=self.config.policy,
@@ -220,6 +233,17 @@ class PipelineService:
             ),
             admit_batch=self.config.admit_batch,
         )
+        # scheduler_shards == 1 constructs the plain JobScheduler, not
+        # a one-shard ShardedScheduler: the default must stay
+        # byte-identical to the pre-sharding service.
+        if self.config.scheduler_shards > 1:
+            self.scheduler = ShardedScheduler(
+                cluster,
+                shards=self.config.scheduler_shards,
+                **scheduler_kwargs,
+            )
+        else:
+            self.scheduler = JobScheduler(cluster, **scheduler_kwargs)
         self.predicted: Optional[BandwidthMatrix] = None
         self.deployment: Optional[Deployment] = None
         self.detector: Optional[DriftDetector] = None
@@ -263,6 +287,7 @@ class PipelineService:
             config.vm,
             fluctuation=weather,
             profile=profile,
+            kernel=config.kernel,
         )
         if pipeline is None:
             pipeline = Pipeline(cluster.topology, base, config)
@@ -582,6 +607,10 @@ class PipelineService:
                 and self.control.switcher is not None
                 else {}
             ),
+            scheduler_shards=getattr(self.scheduler, "shard_count", 1),
+            work_steals=getattr(self.scheduler, "steal_count", 0),
+            kernel=getattr(self.network, "kernel", "scalar"),
+            kernel_fallback=getattr(self.network, "kernel_fallback", False),
             events=list(self.replans),
         )
 

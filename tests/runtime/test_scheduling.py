@@ -341,13 +341,20 @@ class TestSchedulerIntegration:
 
 
 class TestBatchedScale:
-    """The ROADMAP target: hundreds of queued jobs without churn."""
+    """The ROADMAP target: hundreds of queued jobs without churn.
 
-    N_JOBS = 200
+    Parametrized over the queue depth: the 200-job case runs in
+    tier-1; the 2000-job case carries ``@pytest.mark.slow`` and runs
+    in CI's dedicated slow-tests job (``-m slow``).
+    """
 
-    @pytest.fixture(scope="class")
-    def crowded(self):
-        """200 jobs queued at once under a flash crowd, EDF admission."""
+    @pytest.fixture(
+        scope="class",
+        params=[200, pytest.param(2000, marks=pytest.mark.slow)],
+    )
+    def crowded(self, request):
+        """N jobs queued at once under a flash crowd, EDF admission."""
+        n_jobs = request.param
         weather = scenario("flash-crowd", seed=7)
         cluster = _cluster(weather, keys=PAIR)
         scheduler = JobScheduler(
@@ -356,46 +363,46 @@ class TestBatchedScale:
             admission="deadline-edf",
         )
         tickets = []
-        for i in range(self.N_JOBS):
+        for i in range(n_jobs):
             # Deadlines deliberately scrambled vs. arrival order.
-            slo = SLO(deadline_s=600.0 + ((i * 7919) % self.N_JOBS) * 60.0)
+            slo = SLO(deadline_s=600.0 + ((i * 7919) % n_jobs) * 60.0)
             tickets.append(
                 scheduler.submit(
                     _small_job(f"crowd-{i}", mb=40.0, keys=PAIR), slo=slo
                 )
             )
         cluster.network.sim.run()
-        return scheduler, tickets
+        return scheduler, tickets, n_jobs
 
     def test_all_jobs_complete(self, crowded):
-        scheduler, tickets = crowded
-        assert len(scheduler.completed) == self.N_JOBS
+        scheduler, tickets, n_jobs = crowded
+        assert len(scheduler.completed) == n_jobs
         assert all(t.result is not None for t in tickets)
 
     def test_reordering_is_amortized_not_quadratic(self, crowded):
-        scheduler, _ = crowded
+        scheduler, _, n_jobs = crowded
         realloc = scheduler.reallocator
-        assert realloc.pops == self.N_JOBS
+        assert realloc.pops == n_jobs
         # With the default batch, orderings stay a small fraction of
-        # admissions (a per-admission re-sort would be 200 of them).
-        assert realloc.reorders <= self.N_JOBS // 4
+        # admissions (a per-admission re-sort would be n_jobs of them).
+        assert realloc.reorders <= n_jobs // 4
 
     def test_admission_follows_deadlines(self, crowded):
-        scheduler, tickets = crowded
-        # All 200 were queued simultaneously, so EDF admission should
+        scheduler, tickets, n_jobs = crowded
+        # All jobs were queued simultaneously, so EDF admission should
         # start earlier-deadline jobs earlier on average.  Compare the
         # tightest and loosest quartiles.
         by_deadline = sorted(tickets, key=lambda t: t.slo.deadline_s)
-        quarter = self.N_JOBS // 4
+        quarter = n_jobs // 4
         tight_start = sum(t.started_s for t in by_deadline[:quarter]) / quarter
         loose_start = sum(t.started_s for t in by_deadline[-quarter:]) / quarter
         assert tight_start < loose_start
 
     def test_fairness_index_still_computes(self, crowded):
-        scheduler, _ = crowded
+        scheduler, _, n_jobs = crowded
         stats = scheduler.stats()
         assert 0.0 < stats["fairness"] <= 1.0
-        assert stats["completed"] == float(self.N_JOBS)
+        assert stats["completed"] == float(n_jobs)
 
 
 class TestJainReuse:

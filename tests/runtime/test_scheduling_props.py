@@ -1,0 +1,217 @@
+"""Property tests for the sharded scheduler's conservation invariants.
+
+A sharded scheduler moves tickets between queues (tenant routing,
+work-stealing, cross-shard preemption) — exactly the kind of plumbing
+that silently drops or double-admits a job under an unlucky
+interleaving.  These tests drive :class:`ShardedScheduler` with seeded
+random action sequences (submissions, preemptions, concurrency
+re-splits) and assert, mid-run and at the end:
+
+* **conservation** — every submitted ticket lives in exactly one of
+  queued / running / completed, on exactly one shard, and none appear
+  that were never submitted;
+* **reconciliation** — ``stats()`` always satisfies
+  ``submitted == completed + queued + running``;
+* **policy-respecting steals** — a steal always takes the ticket the
+  donor's own deadline-EDF order would have admitted next, so stealing
+  never inverts an SLO ordering within a shard.
+"""
+
+import random
+
+import pytest
+
+from repro.gda.engine.cluster import GeoCluster
+from repro.gda.engine.dag import JobSpec, StageSpec
+from repro.net.dynamics import StaticModel
+from repro.runtime.scenarios import scenario
+from repro.runtime.scheduling import SLO
+from repro.runtime.scheduling.shards import ShardedScheduler
+
+PAIR = ("us-east-1", "us-west-1")
+
+TENANTS = ("acme", "globex", "initech", "umbrella", "hooli", "stark")
+
+
+def _job(name, mb=60.0):
+    return JobSpec(
+        name=name,
+        stages=[
+            StageSpec(
+                "map", cpu_s_per_mb=0.01, output_ratio=1.0, shuffle=False
+            ),
+            StageSpec(
+                "reduce", cpu_s_per_mb=0.01, output_ratio=0.1, shuffle=True
+            ),
+        ],
+        input_mb_by_dc={k: mb for k in PAIR},
+    )
+
+
+def _scheduler(shards, weather=None, max_concurrent=4):
+    cluster = GeoCluster.build(
+        PAIR,
+        "t2.medium",
+        fluctuation=weather if weather is not None else StaticModel(),
+    )
+    return ShardedScheduler(
+        cluster,
+        shards=shards,
+        max_concurrent=max_concurrent,
+        admission="deadline-edf",
+    )
+
+
+def _assert_conserved(sched, tickets):
+    """Each submitted ticket lives in exactly one place, none invented."""
+    held = []
+    for shard in sched.shards:
+        held.extend(shard.queued)
+        held.extend(shard.running)
+        held.extend(shard.completed)
+    held_ids = [id(t) for t in held]
+    assert len(held_ids) == len(set(held_ids)), "ticket duplicated"
+    assert set(held_ids) == {id(t) for t in tickets}, "ticket lost/invented"
+    stats = sched.stats()
+    assert stats["submitted"] == (
+        stats["completed"] + stats["queued"] + stats["running"]
+    )
+    assert stats["submitted"] == float(len(tickets))
+
+
+class TestConservation:
+    """Random driver: no ticket is ever lost, duplicated, or invented."""
+
+    @pytest.mark.parametrize("seed", [1, 23, 456])
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_random_sequences_conserve_tickets(self, seed, shards):
+        rng = random.Random(seed)
+        sched = _scheduler(shards, weather=scenario("flash-crowd", seed=seed))
+        tickets = []
+
+        def submit(i):
+            tenant = rng.choice(TENANTS)
+            deadline = rng.uniform(300.0, 7200.0)
+            tickets.append(
+                sched.submit(
+                    _job(f"{tenant}-{i}", mb=rng.uniform(20.0, 120.0)),
+                    slo=SLO(deadline_s=deadline, tenant=tenant),
+                )
+            )
+
+        def preempt():
+            running = sched.running
+            if running:
+                sched.preempt(rng.choice(running))
+
+        def resize():
+            sched.set_max_concurrent(rng.randint(2, 8))
+
+        def probe():
+            _assert_conserved(sched, tickets)
+
+        for i in range(40):
+            sched.sim.schedule(rng.uniform(0.0, 600.0), lambda i=i: submit(i))
+        for _ in range(6):
+            sched.sim.schedule(rng.uniform(50.0, 500.0), preempt)
+        for _ in range(3):
+            sched.sim.schedule(rng.uniform(50.0, 500.0), resize)
+        for _ in range(10):
+            sched.sim.schedule(rng.uniform(1.0, 900.0), probe)
+        sched.sim.run()
+
+        _assert_conserved(sched, tickets)
+        stats = sched.stats()
+        assert stats["completed"] == 40.0
+        assert stats["queued"] == stats["running"] == 0.0
+        assert all(t.result is not None for t in tickets)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_single_tenant_flood_drains_via_steals(self, shards):
+        """One tenant's burst spills onto every shard and still drains."""
+        sched = _scheduler(shards, max_concurrent=shards)
+        tickets = [
+            sched.submit(
+                _job(f"flood-{i}"),
+                slo=SLO(deadline_s=30000.0, tenant="acme"),
+            )
+            for i in range(5 * shards)
+        ]
+        # With one slot per shard and every submission routed to one
+        # shard, progress beyond that shard's slot is all stealing.
+        assert len(sched.running) == shards
+        assert sched.steal_count >= shards - 1
+        sched.sim.run()
+        _assert_conserved(sched, tickets)
+        assert sched.stats()["completed"] == float(len(tickets))
+
+
+class TestStealOrdering:
+    """Steals take the donor's EDF head, preserving per-shard ordering."""
+
+    def test_steal_takes_donor_edf_head(self, monkeypatch):
+        observed = []
+        original = ShardedScheduler._steal
+
+        def checked(self, thief):
+            queues = [list(s.queued) for s in self.shards]
+            before = self.steal_count
+            result = original(self, thief)
+            if self.steal_count > before:
+                gone = [
+                    t
+                    for q, s in zip(queues, self.shards)
+                    for t in q
+                    if not any(t is u for u in s.queued)
+                ]
+                assert len(gone) == 1
+                (stolen,) = gone
+                donor_queue = next(q for q in queues if stolen in q)
+                observed.append(
+                    (
+                        stolen.slo.deadline_s,
+                        min(t.slo.deadline_s for t in donor_queue),
+                    )
+                )
+            return result
+
+        monkeypatch.setattr(ShardedScheduler, "_steal", checked)
+        rng = random.Random(99)
+        sched = _scheduler(3, max_concurrent=3)
+        deadlines = [600.0 + ((i * 7919) % 40) * 60.0 for i in range(40)]
+        for i, deadline in enumerate(deadlines):
+            sched.submit(
+                _job(f"edf-{i}", mb=rng.uniform(30.0, 90.0)),
+                slo=SLO(deadline_s=deadline, tenant="acme"),
+            )
+        sched.sim.run()
+        assert len(observed) >= 10
+        for stolen_deadline, donor_min in observed:
+            assert stolen_deadline == donor_min
+
+    def test_remaining_queue_order_survives_steals(self):
+        """After a steal, the donor's EDF order over survivors is intact
+        (head removal cannot reorder the tail)."""
+        sched = _scheduler(2, max_concurrent=2)
+        # Fill both slots so later submissions stay queued.
+        sched.submit(_job("warm-0"), slo=SLO(deadline_s=9e4, tenant="acme"))
+        sched.submit(_job("warm-1"), slo=SLO(deadline_s=9e4, tenant="acme"))
+        flood = [
+            sched.submit(
+                _job(f"q-{i}"),
+                slo=SLO(deadline_s=1000.0 * (5 - i), tenant="acme"),
+            )
+            for i in range(4)
+        ]
+        donor = sched.shards[sched.shard_of(flood[0].job, flood[0].slo)]
+        ordered_before = donor.admission.order(
+            list(donor.queued), donor.view()
+        )
+        thief = next(s for s in sched.shards if s is not donor)
+        assert sched._steal(thief)
+        ordered_after = donor.admission.order(list(donor.queued), donor.view())
+        assert [t.job.name for t in ordered_after] == [
+            t.job.name for t in ordered_before[1:]
+        ]
+        sched.sim.run()
+        assert sched.stats()["completed"] == 6.0
