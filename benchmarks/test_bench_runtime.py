@@ -32,6 +32,7 @@ from repro.runtime.scheduler import JobScheduler
 from repro.runtime.scheduling import SLO
 from repro.runtime.scheduling.shards import ShardedScheduler
 from repro.runtime.service import PipelineService, ServiceConfig, default_job_mix
+from repro.sim.kernel import Simulator
 
 REGIONS = ("us-east-1", "us-west-1", "eu-west-1", "ap-southeast-1")
 N_JOBS = 12
@@ -179,6 +180,53 @@ _KERNEL_TRANSFERS = 3000
 MIN_KERNEL_SPEEDUP = 5.0
 
 
+#: Transfer count for the pure event-kernel rate row.  The slow tier
+#: (``test_bench_parallel.py``) runs the same workload at one million
+#: transfers; this size keeps the default bench under a second.
+_EVENT_KERNEL_TRANSFERS = 100_000
+
+
+def _event_kernel_rate(n_transfers: int) -> tuple[float, float, int]:
+    """(events/wall-s, wall seconds, events) for the bare event kernel.
+
+    Replays the :class:`NetworkSimulator` event shape with the network
+    math stripped out: arrivals land in bulk waves via
+    ``schedule_many`` and every arrival cancels and re-arms one shared
+    completion event (the ``_schedule_completion`` pattern), whose
+    firings then chain until the wave drains.  Arrivals share instants
+    ten at a time, so ``run()``'s same-instant batch dispatch is on the
+    measured path too.  What this prices is heap discipline alone —
+    tuple entries, the skim loop, batch dispatch, and bulk insert.
+    """
+    sim = Simulator()
+    state: dict = {"live": 0, "next": None}
+
+    def complete() -> None:
+        state["next"] = None
+        state["live"] -= 1
+        rearm()
+
+    def rearm() -> None:
+        if state["next"] is not None:
+            state["next"].cancel()
+            state["next"] = None
+        if state["live"] > 0:
+            state["next"] = sim.schedule(1.0, complete, priority=1)
+
+    def arrive() -> None:
+        state["live"] += 1
+        rearm()
+
+    wave = 1000
+    start = time.perf_counter()
+    for _ in range(max(1, n_transfers // wave)):
+        sim.schedule_many((0.001 * (k // 10), arrive) for k in range(wave))
+        sim.run()
+    wall_s = time.perf_counter() - start
+    assert state["live"] == 0
+    return sim.events_processed / wall_s, wall_s, sim.events_processed
+
+
 def _sim_event_rate(kernel: str) -> tuple[float, float, int]:
     """(events/wall-s, wall seconds, events) draining one crowded pair."""
     topology = Topology.build(("us-east-1", "us-west-1"), "t2.medium")
@@ -256,6 +304,7 @@ def test_runtime_bench_report(capsys):
     scalar_rate, scalar_wall, scalar_events = _sim_event_rate("scalar")
     vec_rate, vec_wall, vec_events = _sim_event_rate("vectorized")
     kernel_speedup = scalar_wall / vec_wall
+    event_rate, _, event_count = _event_kernel_rate(_EVENT_KERNEL_TRANSFERS)
     sharded_stats, sharded_wall = _sharded_drain()
     report = {
         "completed_jobs": row["completed"],
@@ -270,7 +319,8 @@ def test_runtime_bench_report(capsys):
         "tuner_cells_executed": tuner_cells,
         "tuner_unpruned_cell_runs": tuner_unpruned,
         "tuner_cells_per_s": tuner_cells / tune_wall_s,
-        "sim_events_per_s": vec_rate,
+        "sim_events_per_s": event_rate,
+        "net_events_per_s": vec_rate,
         "sim_kernel_speedup": kernel_speedup,
         "sharded_jobs_per_wall_s": sharded_stats["completed"] / sharded_wall,
         "steal_count": sharded_stats["steals"],
@@ -290,7 +340,8 @@ def test_runtime_bench_report(capsys):
         print(
             f"transfer kernel: {vec_rate:.0f} events/s vectorized vs "
             f"{scalar_rate:.0f} scalar ({kernel_speedup:.1f}× over "
-            f"{vec_events} events); sharded drain "
+            f"{vec_events} events); event kernel {event_rate:.0f} "
+            f"events/s over {event_count} events; sharded drain "
             f"{report['sharded_jobs_per_wall_s']:.0f} jobs/wall-s, "
             f"{sharded_stats['steals']:.0f} steals"
         )
@@ -303,5 +354,8 @@ def test_runtime_bench_report(capsys):
     # the vectorized one just walks them ≥5× faster.
     assert scalar_events == vec_events
     assert kernel_speedup >= MIN_KERNEL_SPEEDUP
+    # The pure-kernel workload dispatches exactly one arrival and one
+    # chained completion per transfer, wall-clock aside.
+    assert event_count == 2 * _EVENT_KERNEL_TRANSFERS
     assert sharded_stats["completed"] == 400.0
     assert sharded_stats["steals"] > 0

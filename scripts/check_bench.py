@@ -1,10 +1,14 @@
 #!/usr/bin/env python
-"""Diff BENCH_runtime.json against the committed baseline.
+"""Diff BENCH_runtime.json (and BENCH_parallel.json) against the
+committed baselines.
 
 CI runs the runtime benchmark (``pytest
 benchmarks/test_bench_runtime.py::test_runtime_bench_report``), which
 writes ``BENCH_runtime.json`` at the repo root, then runs this script
 to flag regressions against ``benchmarks/BENCH_runtime_baseline.json``.
+The slow-test job regenerates ``BENCH_parallel.json`` (the
+2000-job/4-shard drain tier) the same way; whichever copy is on disk
+is diffed against ``benchmarks/BENCH_parallel_baseline.json``.
 
 Metrics fall into two classes:
 
@@ -17,8 +21,10 @@ Metrics fall into two classes:
   loose enough for shared CI runners but still a backstop against a
   pathological slowdown.
 
-The metrics-log overhead additionally has a hard absolute ceiling
-(5 % of the run), mirroring the assertion inside the benchmark.
+Every compared metric's percent delta is printed even when the check
+passes, so CI logs show the perf trajectory, not just a verdict.  The
+metrics-log overhead additionally has a hard absolute ceiling (5 % of
+the run), mirroring the assertion inside the benchmark.
 """
 
 from __future__ import annotations
@@ -40,6 +46,9 @@ DETERMINISTIC = (
     "tuner_cells_executed",
     "tuner_unpruned_cell_runs",
     "steal_count",
+    "parallel_jobs",
+    "parallel_shards",
+    "shard_worker_count",
 )
 
 #: Wall-clock metrics: name → +1 when higher is better, -1 when lower.
@@ -51,8 +60,14 @@ WALL_CLOCK = {
     "metrics_log_overhead_pct": -1,
     "tuner_cells_per_s": +1,
     "sim_events_per_s": +1,
+    "net_events_per_s": +1,
     "sim_kernel_speedup": +1,
     "sharded_jobs_per_wall_s": +1,
+    "parallel_speedup": +1,
+    "parallel_jobs_per_wall_s": +1,
+    "in_process_wall_s": -1,
+    "parallel_serial_wall_s": -1,
+    "parallel_wall_s": -1,
 }
 
 #: Hard absolute ceiling for the warehouse ingest overhead (percent).
@@ -68,9 +83,10 @@ def _change_pct(current: float, baseline: float) -> float:
 
 def check(
     current: dict, baseline: dict, tolerance: float, wall_tolerance: float
-) -> list[str]:
-    """Every failed comparison as a printable complaint."""
+) -> tuple[list[str], list[str]]:
+    """(failed comparisons, per-metric delta lines) for one report."""
     complaints = []
+    deltas = []
     # A benchmark row silently disappearing is itself a regression —
     # every metric the baseline pins must still be reported.
     for name in sorted(baseline):
@@ -85,6 +101,10 @@ def check(
         change = _change_pct(
             float(current.get(name, 0.0)), float(baseline[name])
         )
+        deltas.append(
+            f"{name}: {current.get(name)} vs {baseline[name]} "
+            f"({change:+.1f}%, deterministic ±{tolerance:.0f}%)"
+        )
         if abs(change) > tolerance:
             complaints.append(
                 f"{name}: {current.get(name)} vs baseline "
@@ -98,19 +118,43 @@ def check(
         )
         # A regression is the metric moving *against* its direction.
         regression = -change if direction > 0 else change
+        deltas.append(
+            f"{name}: {float(current.get(name, 0.0)):.4g} vs "
+            f"{float(baseline[name]):.4g} ({change:+.1f}%, "
+            f"{'higher' if direction > 0 else 'lower'} is better)"
+        )
         if regression > wall_tolerance:
             complaints.append(
                 f"{name}: {current.get(name):.4g} vs baseline "
                 f"{float(baseline[name]):.4g} "
                 f"({regression:+.1f}% worse > {wall_tolerance:.0f}%)"
             )
-    overhead = float(current.get("metrics_log_overhead_pct", 0.0))
+    overhead = float(current.get("metrics_log_overhead_pct", -1.0))
     if overhead >= MAX_LOG_OVERHEAD_PCT:
         complaints.append(
             f"metrics_log_overhead_pct: {overhead:.2f} breaches the "
             f"hard {MAX_LOG_OVERHEAD_PCT}% ceiling"
         )
-    return complaints
+    return complaints, deltas
+
+
+def _check_pair(
+    current_path: Path,
+    baseline_path: Path,
+    tolerance: float,
+    wall_tolerance: float,
+) -> tuple[list[str], int]:
+    """Check one report/baseline pair; returns (complaints, compared)."""
+    try:
+        current = json.loads(current_path.read_text())
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {current_path.name}: {exc}"], 0
+    complaints, deltas = check(current, baseline, tolerance, wall_tolerance)
+    print(f"{current_path.name} vs {baseline_path.name}:")
+    for line in deltas:
+        print(f"  {line}")
+    return complaints, len(deltas)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -129,6 +173,18 @@ def main(argv: list[str] | None = None) -> int:
         help="committed baseline to diff against",
     )
     parser.add_argument(
+        "--parallel-current",
+        default=REPO / "BENCH_parallel.json",
+        type=Path,
+        help="report written by the slow parallel drain tier",
+    )
+    parser.add_argument(
+        "--parallel-baseline",
+        default=REPO / "benchmarks" / "BENCH_parallel_baseline.json",
+        type=Path,
+        help="committed parallel-tier baseline to diff against",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=20.0,
@@ -141,15 +197,17 @@ def main(argv: list[str] | None = None) -> int:
         help="percent regression allowed on wall-clock metrics",
     )
     args = parser.parse_args(argv)
-    try:
-        current = json.loads(args.current.read_text())
-        baseline = json.loads(args.baseline.read_text())
-    except (OSError, ValueError) as exc:
-        print(f"check_bench: cannot load reports: {exc}")
-        return 2
-    complaints = check(
-        current, baseline, args.tolerance, args.wall_tolerance
-    )
+    complaints = []
+    compared = 0
+    for current_path, baseline_path in (
+        (args.current, args.baseline),
+        (args.parallel_current, args.parallel_baseline),
+    ):
+        pair_complaints, pair_compared = _check_pair(
+            current_path, baseline_path, args.tolerance, args.wall_tolerance
+        )
+        complaints.extend(pair_complaints)
+        compared += pair_compared
     if complaints:
         print("benchmark regression check FAILED:")
         for complaint in complaints:
@@ -157,8 +215,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(
         f"benchmark regression check passed "
-        f"({len(DETERMINISTIC)} deterministic + {len(WALL_CLOCK)} "
-        f"wall-clock metrics within tolerance)"
+        f"({compared} metrics within tolerance)"
     )
     return 0
 

@@ -317,17 +317,32 @@ def cmd_predict(args: argparse.Namespace, out: IO[str]) -> int:
 def _render_service(svc, out: IO[str]) -> None:
     """Per-job table, re-plan events, and the aggregate summary."""
     summary = svc.summary()
-    out.write(
-        f"{'job':<16} {'system':<10} {'wait(s)':>8} {'jct(s)':>8} "
-        f"{'wan(GB)':>8}\n"
-    )
-    for ticket in svc.scheduler.completed:
-        result = ticket.result
+    records = getattr(svc, "parallel_records", [])
+    if records:
+        # The parallel drain ran outside the in-process scheduler;
+        # per-job rows come from the merged shard records instead.
         out.write(
-            f"{ticket.job.name:<16} {result.system_name:<10} "
-            f"{ticket.wait_s:>8.1f} {ticket.jct_s:>8.1f} "
-            f"{result.wan_gb:>8.2f}\n"
+            f"{'job':<16} {'tenant':<10} {'shard':>5} {'wait(s)':>8} "
+            f"{'jct(s)':>8}\n"
         )
+        for record in records:
+            out.write(
+                f"{record.name:<16} {record.tenant:<10} "
+                f"{record.shard:>5d} {record.wait_s:>8.1f} "
+                f"{record.jct_s:>8.1f}\n"
+            )
+    else:
+        out.write(
+            f"{'job':<16} {'system':<10} {'wait(s)':>8} {'jct(s)':>8} "
+            f"{'wan(GB)':>8}\n"
+        )
+        for ticket in svc.scheduler.completed:
+            result = ticket.result
+            out.write(
+                f"{ticket.job.name:<16} {result.system_name:<10} "
+                f"{ticket.wait_s:>8.1f} {ticket.jct_s:>8.1f} "
+                f"{result.wan_gb:>8.2f}\n"
+            )
     if summary.events:
         out.write("\nre-plan events:\n")
         for event in summary.events:
@@ -359,6 +374,16 @@ def _render_service(svc, out: IO[str]) -> None:
             f"{summary.throttle_moves} throttle moves "
             f"({summary.throttle_releases} released), "
             f"peak concurrency {summary.concurrency_high_water}\n"
+        )
+    if records:
+        workers = (
+            f"{summary.shard_worker_count} worker processes"
+            if summary.shard_worker_count
+            else "in-process (serial)"
+        )
+        out.write(
+            f"parallel drain: {summary.scheduler_shards} shards, "
+            f"{workers}, wall {summary.parallel_wall_s:.2f} s\n"
         )
 
 
@@ -426,6 +451,12 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
     if args.scale_mb <= 0:
         out.write(f"--scale-mb must be positive (got {args.scale_mb})\n")
         return 2
+    if base_config.shard_workers < 0:
+        out.write(
+            f"--shard-workers must be ≥ 0 "
+            f"(got {base_config.shard_workers})\n"
+        )
+        return 2
 
     def run_once(online: bool, metrics: bool = False) -> PipelineService:
         config = dataclasses.replace(base_config, online=online)
@@ -447,9 +478,15 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
             scale_mb=args.scale_mb,
         )
         # submit_mix spreads heterogeneous SLO deadlines over the mix
-        # when --slo-deadline-s (or the config layers) set one.
-        service.submit_mix(mix)
-        service.run(until=args.duration)
+        # when --slo-deadline-s (or the config layers) set one.  With
+        # --shard-workers set the mix instead drains through the
+        # partitioned shard executor (tenant-hashed shards, one seeded
+        # simulation per shard, optionally in worker processes).
+        if config.shard_workers > 0:
+            service.drain_parallel(mix)
+        else:
+            service.submit_mix(mix)
+            service.run(until=args.duration)
         service.stop()
         return service
 

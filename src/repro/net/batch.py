@@ -313,11 +313,11 @@ class _Bucket:
         """Members whose remaining payload is within the finish slop."""
         if self.vectorized:
             mask = (self.size - self.transferred) <= FINISH_EPS
-            if not mask.any():
+            indices = self.np.nonzero(mask)[0]
+            if indices.size == 0:
                 return []
-            return [
-                t for t, done in zip(self.transfers, mask) if done
-            ]
+            transfers = self.transfers
+            return [transfers[i] for i in indices]
         return [
             t
             for t in self.transfers
@@ -382,6 +382,23 @@ class VectorKernel:
         """Advance every bucket by ``dt`` seconds."""
         for bucket in self.buckets.values():
             bucket.progress(dt)
+
+    def advance(self, dt: float) -> list["Transfer"]:
+        """Progress every bucket by ``dt`` and collect the finishers.
+
+        One walk over the buckets instead of the progress-then-scan
+        double pass: the completion event's hot path calls this so a
+        same-instant batch of finishing transfers is found in the same
+        visit that advanced it.  ``dt <= 0`` skips the (no-op)
+        progress but still collects — a transfer can finish exactly at
+        an instant another event already progressed to.
+        """
+        out: list["Transfer"] = []
+        for bucket in self.buckets.values():
+            if dt > 0:
+                bucket.progress(dt)
+            out.extend(bucket.finished())
+        return out
 
     def min_eta(self) -> float:
         """Seconds until the next completion across all buckets."""

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.net import tcp
-from repro.net.batch import VectorKernel, allocate_batch, load_numpy
+from repro.net.batch import FINISH_EPS, VectorKernel, allocate_batch, load_numpy
 from repro.net.dynamics import FluctuationModel, StaticModel
 from repro.net.matrix import BandwidthMatrix
 from repro.net.sharing import PairFlow, allocate
@@ -274,12 +274,23 @@ class NetworkSimulator:
         cap *= self.fluctuation.factor(i, j, self._weather_time())
         return min(cap, self.tc.limit(src, dst))
 
-    def _progress(self) -> None:
-        """Advance all active transfers to the current time."""
+    def _progress(self, collect: bool = False) -> list[Transfer]:
+        """Advance all active transfers to the current time.
+
+        With ``collect``, the transfers whose payload is now fully
+        delivered are gathered *during* the advancement walk and
+        returned — the completion event's fast path, which used to
+        progress every bucket and then re-scan the whole population a
+        second time.  Collection happens even when no time has passed:
+        a transfer can finish exactly at an instant another event
+        already progressed to.
+        """
         dt = self.sim.now - self._last_progress_time
+        vec = self._vec
+        finished: list[Transfer] = []
         if dt > 0:
-            if self._vec is not None:
-                self._vec.progress(dt)
+            if vec is not None:
+                finished = vec.advance(dt) if collect else vec.progress(dt) or []
             else:
                 for bucket in self._active.values():
                     for transfer in bucket:
@@ -287,14 +298,18 @@ class NetworkSimulator:
                             transfer.size_mbits,
                             transfer.transferred_mbits + transfer.rate_mbps * dt,
                         )
+                        if collect and transfer.remaining_mbits <= FINISH_EPS:
+                            finished.append(transfer)
                 for transfer in self._lan_active:
                     transfer.transferred_mbits = min(
                         transfer.size_mbits,
                         transfer.transferred_mbits + transfer.rate_mbps * dt,
                     )
+                    if collect and transfer.remaining_mbits <= FINISH_EPS:
+                        finished.append(transfer)
             for (src, dst), bucket in self._active.items():
-                if self._vec is not None:
-                    rate = self._vec.rate_total((src, dst))
+                if vec is not None:
+                    rate = vec.rate_total((src, dst))
                 else:
                     rate = sum(t.rate_mbps for t in bucket)
                 stats = self._stats.setdefault((src, dst), PairStats())
@@ -302,7 +317,21 @@ class NetworkSimulator:
                 stats.active_seconds += dt
                 if rate > 0:
                     stats.min_rate_mbps = min(stats.min_rate_mbps, rate)
+        elif collect:
+            if vec is not None:
+                finished = vec.advance(0.0)
+            else:
+                for bucket in self._active.values():
+                    finished.extend(
+                        t for t in bucket if t.remaining_mbits <= FINISH_EPS
+                    )
+                finished.extend(
+                    t
+                    for t in self._lan_active
+                    if t.remaining_mbits <= FINISH_EPS
+                )
         self._last_progress_time = self.sim.now
+        return finished
 
     def _reallocate(self) -> None:
         """Re-solve rates and re-schedule the next completion event."""
@@ -393,17 +422,7 @@ class NetworkSimulator:
 
     def _on_completion(self) -> None:
         self._completion_event = None
-        self._progress()
-        if self._vec is not None:
-            finished = self._vec.finished()
-        else:
-            finished = []
-            for bucket in self._active.values():
-                finished.extend(t for t in bucket if t.remaining_mbits <= 1e-6)
-            finished.extend(
-                t for t in self._lan_active if t.remaining_mbits <= 1e-6
-            )
-        for transfer in finished:
+        for transfer in self._progress(collect=True):
             self._finish(transfer)
         self._reallocate()
 

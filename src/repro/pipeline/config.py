@@ -118,6 +118,15 @@ class ServiceConfig(PipelineConfig):
     #: ``>1`` builds a ``ShardedScheduler`` hashing tenants across N
     #: independent shards with work-stealing between them on idle.
     scheduler_shards: int = config_field(1, help="scheduler shards (1 = single shared queue)")
+    #: Worker processes for the partitioned shard executor (the
+    #: ``drain_parallel`` scale-out path).  ``0`` — the default — never
+    #: builds the executor, keeping the in-process scheduler
+    #: byte-identical to before; ``1`` drains the partitioned shards
+    #: serially in-process (the deterministic reference); ``≥ 2`` fans
+    #: them out over a multiprocessing pool, one seeded self-contained
+    #: simulation per shard, with identical results at any worker
+    #: count.
+    shard_workers: int = config_field(0, help="shard worker processes (0 = in-process)")
     #: Transfer-advancement kernel for the WAN simulator: ``scalar``
     #: advances each transfer from Python (the reference path);
     #: ``vectorized`` advances each link's concurrent transfers as one

@@ -67,6 +67,8 @@ REQUIRED_METRIC_FAMILIES: tuple[str, ...] = (
     "wanify_tuner_arm_pulls",
     "wanify_scheduler_shards",
     "wanify_work_steals_total",
+    "wanify_shard_workers",
+    "wanify_parallel_wall_seconds",
     "wanify_kernel_fallback",
     "wanify_link_estimate_mbps",
     "wanify_job_latency_seconds",
@@ -336,6 +338,14 @@ class ObservabilityHub:
             "Queued tickets moved between shards by work-stealing.",
             getattr(scheduler, "steal_count", 0),
         )
+        registry.gauge(
+            "wanify_shard_workers",
+            "Worker processes the last parallel drain used (0 = in-process).",
+        ).set(getattr(service, "parallel_workers", 0))
+        registry.gauge(
+            "wanify_parallel_wall_seconds",
+            "Wall-clock seconds the last parallel drain took.",
+        ).set(getattr(service, "parallel_wall_s", 0.0))
         registry.gauge(
             "wanify_kernel_fallback",
             "1 when kernel='vectorized' degraded to scalar (no numpy).",

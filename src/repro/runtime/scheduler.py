@@ -129,13 +129,19 @@ def aggregate_stats(
     }
 
 
-@dataclass
+@dataclass(eq=False)
 class JobTicket:
     """One submission's lifecycle: queued → running → done.
 
     A preempted ticket loops back: running → queued (carrying a
     :class:`~repro.runtime.executor.JobCheckpoint`) → running again
     when re-admitted.
+
+    Tickets compare by *identity* (``eq=False``): two submissions of
+    the same job at the same instant are still distinct tickets, so
+    queue membership and removal must never confuse them — and the
+    admission path's ``deque.remove`` scans become pointer compares
+    instead of fifteen-field dataclass comparisons.
     """
 
     job: JobSpec
@@ -310,6 +316,29 @@ class JobScheduler:
     ) -> None:
         """Schedule a submission ``delay_s`` seconds from now."""
         self.sim.schedule(delay_s, lambda: self.submit(job, policy, slo))
+
+    def submit_many(
+        self,
+        entries: list[tuple[float, JobSpec, PolicySpec, Optional[SLO]]],
+    ) -> None:
+        """Bulk-schedule ``(delay_s, job, policy, slo)`` submissions.
+
+        One :meth:`~repro.sim.kernel.Simulator.schedule_many` heapify
+        instead of a per-job ``schedule`` sift — the fast path for the
+        big seeded mixes the service and the shard executor submit.
+        Sequence assignment matches per-entry :meth:`submit_at` calls
+        exactly, so traces stay byte-identical.
+        """
+        self.sim.schedule_many(
+            (delay_s, self._submit_thunk(job, policy, slo))
+            for delay_s, job, policy, slo in entries
+        )
+
+    def _submit_thunk(
+        self, job: JobSpec, policy: PolicySpec, slo: Optional[SLO]
+    ) -> Callable[[], None]:
+        """A zero-argument deferred submit (bulk-scheduling payload)."""
+        return lambda: self.submit(job, policy, slo)
 
     def _admit(self) -> None:
         while self.queued and len(self.running) < self.max_concurrent:

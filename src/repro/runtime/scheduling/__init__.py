@@ -59,6 +59,7 @@ __all__ = [
     "FifoAdmission",
     "PriorityAdmission",
     "SchedulerView",
+    "ShardExecutor",
     "ShardedScheduler",
     "attainment",
     "deadline_met",
@@ -70,15 +71,20 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    """Lazy re-export of the sharded scheduler.
+    """Lazy re-export of the sharded scheduler and shard executor.
 
-    :mod:`~repro.runtime.scheduling.shards` imports
+    :mod:`~repro.runtime.scheduling.shards` (and
+    :mod:`~repro.runtime.scheduling.parallel`) import
     :mod:`repro.runtime.scheduler`, which imports this package — an
-    eager import here would be circular, so the symbol resolves on
+    eager import here would be circular, so the symbols resolve on
     first attribute access instead.
     """
     if name == "ShardedScheduler":
         from repro.runtime.scheduling.shards import ShardedScheduler
 
         return ShardedScheduler
+    if name == "ShardExecutor":
+        from repro.runtime.scheduling.parallel import ShardExecutor
+
+        return ShardExecutor
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -48,7 +48,30 @@ from repro.runtime.scheduling.policies import AdmissionPolicy
 from repro.runtime.scheduling.reallocator import DEFAULT_BATCH
 from repro.runtime.scheduling.slo import SLO
 
-__all__ = ["ShardedScheduler", "shard_for_tenant", "split_concurrency"]
+__all__ = [
+    "ShardedScheduler",
+    "shard_for_tenant",
+    "split_concurrency",
+    "tenant_of_submission",
+]
+
+
+def tenant_of_submission(
+    job: JobSpec, slo: Optional[SLO], default_slo: Optional[SLO] = None
+) -> str:
+    """Tenant routing key for a not-yet-ticketed submission.
+
+    Mirrors :func:`repro.runtime.scheduling.slo.tenant_of` before a
+    ticket exists: the SLO's explicit tenant wins (the submission's
+    own, else the scheduler default), otherwise the job name's leading
+    ``-``-separated word.  Shared by the in-process sharded scheduler
+    and the process-parallel shard executor so both route a submission
+    to the same shard.
+    """
+    effective = slo if slo is not None else default_slo
+    if effective is not None and effective.tenant:
+        return effective.tenant
+    return job.name.split("-", 1)[0]
 
 
 def shard_for_tenant(tenant: str, shards: int) -> int:
@@ -185,10 +208,7 @@ class ShardedScheduler:
 
     def _tenant(self, job: JobSpec, slo: Optional[SLO]) -> str:
         """Tenant routing key (mirrors ``slo.tenant_of`` pre-ticket)."""
-        effective = slo if slo is not None else self.default_slo
-        if effective is not None and effective.tenant:
-            return effective.tenant
-        return job.name.split("-", 1)[0]
+        return tenant_of_submission(job, slo, self.default_slo)
 
     def shard_of(self, job: JobSpec, slo: Optional[SLO] = None) -> int:
         """The shard index a submission routes to."""
@@ -216,6 +236,25 @@ class ShardedScheduler:
     ) -> None:
         """Schedule a submission ``delay_s`` seconds from now."""
         self.sim.schedule(delay_s, lambda: self.submit(job, policy, slo))
+
+    def _submit_thunk(
+        self, job: JobSpec, policy: PolicySpec, slo: Optional[SLO]
+    ) -> Callable[[], None]:
+        """A zero-argument deferred submit (bulk-scheduling payload)."""
+        return lambda: self.submit(job, policy, slo)
+
+    def submit_many(
+        self,
+        entries: list[tuple[float, JobSpec, PolicySpec, Optional[SLO]]],
+    ) -> None:
+        """Bulk-schedule submissions (one heapify; see
+        :meth:`JobScheduler.submit_many
+        <repro.runtime.scheduler.JobScheduler.submit_many>`).  Routing
+        to a tenant's shard still happens per entry at fire time."""
+        self.sim.schedule_many(
+            (delay_s, self._submit_thunk(job, policy, slo))
+            for delay_s, job, policy, slo in entries
+        )
 
     # -- work-stealing ---------------------------------------------------
 

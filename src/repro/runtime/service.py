@@ -152,6 +152,13 @@ class ServiceSummary:
     #: tickets work-stealing moved between them (always 0 unsharded).
     scheduler_shards: int = 1
     work_steals: int = 0
+    #: Process-parallel execution: worker processes the partitioned
+    #: shard executor used for the last :meth:`PipelineService
+    #: .drain_parallel` (0 = the serial in-process path, also the
+    #: value when the service never drained in parallel) and the
+    #: wall-clock seconds that drain took end to end.
+    shard_worker_count: int = 0
+    parallel_wall_s: float = 0.0
     #: The transfer-advancement kernel the WAN simulator ran
     #: (``scalar`` or ``vectorized``), and whether a requested
     #: vectorized kernel silently degraded because numpy was missing.
@@ -191,6 +198,8 @@ class ServiceSummary:
             "tuner_arms_explored": float(len(self.tuner_arm_stats)),
             "scheduler_shards": float(self.scheduler_shards),
             "work_steals": float(self.work_steals),
+            "shard_worker_count": float(self.shard_worker_count),
+            "parallel_wall_s": self.parallel_wall_s,
             "kernel_fallback": float(self.kernel_fallback),
         }
 
@@ -252,6 +261,15 @@ class PipelineService:
         self.replans: list[ReplanEvent] = []
         self._drift_process: Optional[Process] = None
         self._started = False
+        #: State of the last :meth:`drain_parallel` (``None`` until one
+        #: runs): the merged statistics row, the worker count actually
+        #: used, whether the pool degraded to serial, and the
+        #: wall-clock seconds the drain took.
+        self.parallel_stats: Optional[dict[str, float]] = None
+        self.parallel_records: list = []
+        self.parallel_workers = 0
+        self.parallel_fell_back = False
+        self.parallel_wall_s = 0.0
 
     # -- construction ---------------------------------------------------
 
@@ -524,25 +542,103 @@ class PipelineService:
         deadline would make earliest-deadline-first indistinguishable
         from FIFO.  The CLI's ``serve`` and the sweep runner submit
         through this.
+
+        The whole mix goes through the scheduler's ``submit_many``
+        bulk insert (one kernel heapify) rather than a per-job
+        ``submit_at`` sift; event order is identical either way.
         """
         if self.config.slo_deadline_s is not None and spread_deadlines:
-            for delay, job, slo in spread_slos(
-                mix, self.config.slo_deadline_s, seed=self.config.seed
-            ):
-                self.submit_at(delay, job, slo=slo)
+            entries = [
+                (delay, job, None, slo)
+                for delay, job, slo in spread_slos(
+                    mix, self.config.slo_deadline_s, seed=self.config.seed
+                )
+            ]
         else:
-            for delay, job in mix:
-                self.submit_at(delay, job)
+            entries = [(delay, job, None, None) for delay, job in mix]
+        self.scheduler.submit_many(entries)
 
     def run(self, until: Optional[float] = None) -> None:
         """Drive the shared simulator (open-ended: until jobs drain)."""
         self.sim.run(until=until)
+
+    def drain_parallel(
+        self, mix: list[tuple[float, JobSpec]], spread_deadlines: bool = True
+    ) -> dict[str, float]:
+        """Partition a mix by tenant and drain each shard in parallel.
+
+        The multi-core alternative to :meth:`submit_mix` + :meth:`run`:
+        the mix splits into ``scheduler_shards`` tenant-hashed slices
+        (same CRC-32 routing as the in-process
+        :class:`~repro.runtime.scheduling.shards.ShardedScheduler`),
+        each slice drains as a **self-contained seeded simulation** in
+        a :class:`~repro.runtime.scheduling.parallel.ShardExecutor`
+        worker process (``shard_workers`` of them; 0 or 1 runs the
+        shards serially in-process with byte-identical results), and
+        the per-shard records merge deterministically into one
+        statistics row — which :meth:`summary` then reports instead of
+        the idle in-process scheduler's.
+
+        Partitioned shards do not share a WAN and cannot steal work
+        from each other; that independence is exactly what lets them
+        scale across cores.  The service's control loop (drift
+        watcher, control plane) does not reach into the workers — this
+        is the throughput path for big batch mixes, not the online
+        re-planning path.
+        """
+        from repro.runtime.scheduling.parallel import (
+            ShardExecutor,
+            build_tasks,
+            merge_stats,
+        )
+
+        config = self.config
+        if config.slo_deadline_s is not None and spread_deadlines:
+            entries = [
+                (delay, job, None, slo)
+                for delay, job, slo in spread_slos(
+                    mix, config.slo_deadline_s, seed=config.seed
+                )
+            ]
+        else:
+            entries = [(delay, job, None, None) for delay, job in mix]
+        tasks = build_tasks(
+            entries,
+            max(1, config.scheduler_shards),
+            regions=config.regions,
+            vm=config.vm,
+            profile=config.profile,
+            scenario=config.scenario,
+            seed=config.seed,
+            kernel=config.kernel,
+            admission=config.scheduler,
+            default_policy=config.policy,
+            max_concurrent=config.max_concurrent,
+            admit_batch=config.admit_batch,
+            default_slo=(
+                SLO(deadline_s=config.slo_deadline_s)
+                if config.slo_deadline_s is not None
+                else None
+            ),
+        )
+        executor = ShardExecutor(config.shard_workers)
+        results = executor.run(tasks)
+        self.parallel_records = [r for result in results for r in result.records]
+        self.parallel_stats = merge_stats(results)
+        self.parallel_workers = executor.workers_used
+        self.parallel_fell_back = executor.fell_back
+        self.parallel_wall_s = executor.wall_s
+        return self.parallel_stats
 
     # -- reporting ------------------------------------------------------
 
     def summary(self) -> ServiceSummary:
         """Aggregate statistics for everything completed so far."""
         stats = self.scheduler.stats()
+        if self.parallel_stats is not None:
+            # A parallel drain ran outside the in-process scheduler;
+            # its merged row supersedes the idle scheduler's zeros.
+            stats = {**stats, **self.parallel_stats}
         gauger = self.pipeline.gauger
         return ServiceSummary(
             completed=int(stats["completed"]),
@@ -607,8 +703,14 @@ class PipelineService:
                 and self.control.switcher is not None
                 else {}
             ),
-            scheduler_shards=getattr(self.scheduler, "shard_count", 1),
+            scheduler_shards=(
+                int(self.parallel_stats["shards"])
+                if self.parallel_stats is not None
+                else getattr(self.scheduler, "shard_count", 1)
+            ),
             work_steals=getattr(self.scheduler, "steal_count", 0),
+            shard_worker_count=self.parallel_workers,
+            parallel_wall_s=self.parallel_wall_s,
             kernel=getattr(self.network, "kernel", "scalar"),
             kernel_fallback=getattr(self.network, "kernel_fallback", False),
             events=list(self.replans),

@@ -5,23 +5,40 @@ priority, sequence)``-ordered callbacks popped from a binary heap.  The
 sequence number makes the ordering total and deterministic, which matters
 because the whole reproduction is seeded — two runs with the same seed
 must produce identical traces.
+
+The hot loop is deliberately lean (this kernel executes every transfer
+completion, monitor tick, and scheduler event in the repository, and
+the scale benchmarks drain millions of events through it):
+
+* heap entries are plain ``(time, priority, seq, event)`` tuples, so
+  sift comparisons are raw tuple compares — the sequence number is
+  unique, so the :class:`Event` object itself is never compared;
+* cancelled events are skimmed off the heap top exactly once by a
+  shared drain helper (:meth:`Simulator._skim`) used by ``peek`` /
+  ``step`` / ``run`` — no path pays the old peek-then-step double scan;
+* :meth:`Simulator.run` batch-dispatches every event sharing one
+  timestamp in a single inner loop, re-entering the outer
+  bookkeeping (``until`` bound, live count, head skim) once per
+  *instant* instead of once per *event* — same total order, since the
+  heap top is always the global ``(time, priority, seq)`` minimum;
+* :meth:`Simulator.schedule_many` bulk-inserts a batch of callbacks
+  with one heapify instead of per-event pushes.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, priority, seq)`` so the heap pops them in
-    deterministic order.  ``cancelled`` events stay in the heap but are
-    skipped when popped (lazy deletion).
+    Events fire in ``(time, priority, seq)`` order — the heap holds
+    that key as a plain tuple, so the event object itself never enters
+    a comparison.  ``cancelled`` events stay in the heap but are
+    skipped when reached (lazy deletion).
 
     ``daemon`` events (periodic samplers, monitors, weather refreshes)
     do not keep an open-ended :meth:`Simulator.run` alive: once only
@@ -29,22 +46,55 @@ class Event:
     threads.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    daemon: bool = field(default=False, compare=False)
-    _on_cancel: Optional[Callable[[], None]] = field(
-        default=None, compare=False, repr=False
+    __slots__ = (
+        "time", "priority", "seq", "callback", "cancelled", "daemon",
+        "_on_cancel",
     )
 
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        daemon: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.daemon = daemon
+        #: Fires on the first cancel of a still-pending event (the
+        #: simulator's live-count bookkeeping).  Cleared when the event
+        #: executes, so a late ``cancel()`` — e.g. a process stopping
+        #: itself from inside its own tick — cannot double-count.
+        self._on_cancel: Optional[Callable[[], None]] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return (
+            f"Event(time={self.time!r}, priority={self.priority!r}, "
+            f"seq={self.seq!r}, {state})"
+        )
+
     def cancel(self) -> None:
-        """Mark the event so the simulator skips it."""
+        """Mark the event so the simulator skips it.
+
+        Idempotent, and safe to call on an event that already fired:
+        the live-count hook runs at most once, and never after
+        execution (the kernel clears it when the callback is
+        dispatched).
+        """
         if not self.cancelled:
             self.cancelled = True
             if self._on_cancel is not None:
                 self._on_cancel()
+                self._on_cancel = None
+
+
+#: A heap entry: ``(time, priority, seq, event)``.
+_Entry = tuple[float, int, int, Event]
 
 
 class Simulator:
@@ -62,7 +112,7 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        self._queue: list[_Entry] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
@@ -95,14 +145,58 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         event = Event(
-            self._now + delay, priority, next(self._seq), callback,
-            daemon=daemon,
+            self._now + delay, priority, next(self._seq), callback, daemon
         )
         if not daemon:
             self._live += 1
             event._on_cancel = self._drop_live
-        heapq.heappush(self._queue, event)
+        heapq.heappush(
+            self._queue, (event.time, event.priority, event.seq, event)
+        )
         return event
+
+    def schedule_many(
+        self,
+        entries: Iterable[tuple[float, Callable[[], None]]],
+        priority: int = 0,
+        daemon: bool = False,
+    ) -> list[Event]:
+        """Bulk-insert a batch of ``(delay, callback)`` pairs.
+
+        Equivalent to calling :meth:`schedule` once per entry in order
+        (sequence numbers are assigned in iteration order, so the total
+        event order is identical), but the heap is rebuilt with one
+        ``heapify`` — O(queue + batch) — instead of per-event sifts
+        when the batch is large relative to the pending queue.  The
+        scheduler's batched admission path and the shard executor
+        submit their job mixes through this.
+        """
+        events: list[Event] = []
+        for delay, callback in entries:
+            if delay < 0:
+                raise ValueError(f"negative delay: {delay}")
+            event = Event(
+                self._now + delay, priority, next(self._seq), callback, daemon
+            )
+            if not daemon:
+                self._live += 1
+                event._on_cancel = self._drop_live
+            events.append(event)
+        queue = self._queue
+        if events and len(events) * 8 < len(queue):
+            # Small batch onto a deep queue: sifting each entry in is
+            # cheaper than re-heapifying everything.
+            for event in events:
+                heapq.heappush(
+                    queue, (event.time, event.priority, event.seq, event)
+                )
+        elif events:
+            queue.extend(
+                (event.time, event.priority, event.seq, event)
+                for event in events
+            )
+            heapq.heapify(queue)
+        return events
 
     def _drop_live(self) -> None:
         self._live -= 1
@@ -114,28 +208,57 @@ class Simulator:
         priority: int = 0,
         daemon: bool = False,
     ) -> Event:
-        """Schedule ``callback`` at absolute simulation time ``time``."""
+        """Schedule ``callback`` at absolute simulation time ``time``.
+
+        ``time`` must not lie in the simulation's past.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"schedule_at: time {time} is in the past "
+                f"(simulation clock is at {self._now})"
+            )
         return self.schedule(time - self._now, callback, priority, daemon)
+
+    def _skim(self) -> Optional[_Entry]:
+        """The live heap head, with cancelled entries dropped.
+
+        The one drain loop shared by :meth:`peek`, :meth:`step`, and
+        :meth:`run` — each cancelled entry is popped exactly once, and
+        no caller re-scans what another already skimmed.
+        """
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[3].cancelled:
+                heapq.heappop(queue)
+            else:
+                return head
+        return None
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        head = self._skim()
+        return head[0] if head is not None else None
+
+    def _dispatch(self, event: Event) -> None:
+        """Account for and execute one popped, non-cancelled event."""
+        if not event.daemon:
+            self._live -= 1
+        # The event is executing: a late cancel (a process stopping
+        # itself mid-tick) must not decrement the live count again.
+        event._on_cancel = None
+        self._now = event.time
+        self.events_processed += 1
+        event.callback()
 
     def step(self) -> bool:
         """Pop and run the next event.  Returns ``False`` when drained."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if not event.daemon:
-                self._live -= 1
-            self._now = event.time
-            self.events_processed += 1
-            event.callback()
-            return True
-        return False
+        head = self._skim()
+        if head is None:
+            return False
+        heapq.heappop(self._queue)
+        self._dispatch(head[3])
+        return True
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or the clock passes ``until``.
@@ -145,18 +268,37 @@ class Simulator:
         observe a consistent end time.  Without ``until``, the run also
         returns once only daemon events remain — a forgotten monitor
         cannot wedge the simulation.
+
+        Events sharing one timestamp are dispatched as a batch: the
+        outer bookkeeping (bound check, head skim) runs once per
+        simulated instant, and the inner loop pops straight off the
+        heap — which always yields the global ``(time, priority, seq)``
+        minimum, so callbacks scheduling new same-instant events keep
+        the exact single-step order.
         """
+        queue = self._queue
+        heappop = heapq.heappop
         self._running = True
         try:
             while self._running:
                 if until is None and self._live <= 0:
                     break
-                next_time = self.peek()
-                if next_time is None:
+                head = self._skim()
+                if head is None:
                     break
-                if until is not None and next_time > until:
+                now = head[0]
+                if until is not None and now > until:
                     break
-                self.step()
+                self._now = now
+                # Batch-dispatch every event at this instant.
+                while self._running:
+                    heappop(queue)
+                    self._dispatch(head[3])
+                    if until is None and self._live <= 0:
+                        break
+                    head = self._skim()
+                    if head is None or head[0] != now:
+                        break
         finally:
             self._running = False
         if until is not None and self._now < until:
@@ -206,6 +348,12 @@ class Process:
             )
 
     def stop(self) -> None:
-        """Stop the periodic activity; pending tick is cancelled."""
+        """Stop the periodic activity; pending tick is cancelled.
+
+        Safe to call from inside the process's own ``body``: the tick
+        being executed has already left the queue, so cancelling it is
+        a no-op for the kernel's live-event accounting, and the
+        ``_stopped`` flag suppresses the re-arm.
+        """
         self._stopped = True
         self._event.cancel()

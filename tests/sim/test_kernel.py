@@ -222,3 +222,235 @@ class TestDaemonEvents:
         Process(sim, 1.0, tick, start_delay=1.0)
         sim.run()
         assert fired == ["from-daemon", "work"]
+
+
+class TestScheduleAtValidation:
+    def test_past_time_raises_naming_the_call_and_time(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        with pytest.raises(ValueError) as excinfo:
+            sim.schedule_at(3.0, lambda: None)
+        message = str(excinfo.value)
+        assert "schedule_at" in message
+        assert "3.0" in message
+        assert "5.0" in message  # the current clock, for debuggability
+
+    def test_exactly_now_is_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(0.0, lambda: fired.append("now"))
+        sim.run()
+        assert fired == ["now"]
+
+
+class TestScheduleMany:
+    def test_matches_sequential_schedule_order(self):
+        """Bulk insert must fire in the same total order as one-by-one."""
+        delays = [3.0, 1.0, 2.0, 1.0, 3.0, 0.0, 2.0, 1.0]
+
+        sequential = Simulator()
+        fired_seq = []
+        for index, delay in enumerate(delays):
+            sequential.schedule(
+                delay, lambda i=index: fired_seq.append(i)
+            )
+        sequential.run()
+
+        bulk = Simulator()
+        fired_bulk = []
+        bulk.schedule_many(
+            (delay, lambda i=index: fired_bulk.append(i))
+            for index, delay in enumerate(delays)
+        )
+        bulk.run()
+
+        assert fired_bulk == fired_seq
+        assert bulk.now == sequential.now
+        assert bulk.events_processed == sequential.events_processed
+
+    def test_bulk_insert_mid_run_interleaves_correctly(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("late"))
+
+        def inject():
+            fired.append("inject")
+            sim.schedule_many(
+                [
+                    (1.0, lambda: fired.append("b1")),
+                    (0.5, lambda: fired.append("b0")),
+                    (6.0, lambda: fired.append("b2")),
+                ]
+            )
+
+        sim.schedule(2.0, inject)
+        sim.run()
+        assert fired == ["inject", "b0", "b1", "late", "b2"]
+        assert sim.now == 8.0
+
+    def test_negative_delay_rejected_per_entry(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="negative delay"):
+            sim.schedule_many([(1.0, lambda: None), (-0.5, lambda: None)])
+
+    def test_small_batch_on_deep_queue_keeps_order(self):
+        """The push-vs-heapify crossover must not change semantics."""
+        sim = Simulator()
+        fired = []
+        for index in range(100):
+            sim.schedule(
+                float(index) + 10.0, lambda i=index: fired.append(i)
+            )
+        # Batch of 2 against a 100-deep queue takes the per-push path.
+        sim.schedule_many(
+            [(1.0, lambda: fired.append("a")), (2.0, lambda: fired.append("b"))]
+        )
+        sim.run()
+        assert fired[:2] == ["a", "b"]
+        assert fired[2:] == list(range(100))
+
+    def test_daemon_batch_does_not_keep_run_alive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_many(
+            [(10.0, lambda: fired.append("d"))], daemon=True
+        )
+        sim.schedule(1.0, lambda: fired.append("work"))
+        sim.run()
+        assert fired == ["work"]
+        assert sim.now == 1.0
+
+    def test_returns_events_that_can_cancel(self):
+        sim = Simulator()
+        fired = []
+        events = sim.schedule_many(
+            [(1.0, lambda: fired.append("a")), (2.0, lambda: fired.append("b"))]
+        )
+        events[1].cancel()
+        sim.run()
+        assert fired == ["a"]
+
+
+class TestBatchDispatch:
+    """run() dispatches same-instant events in one inner loop."""
+
+    def test_same_instant_events_fire_in_priority_seq_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("p1"), priority=1)
+        sim.schedule(1.0, lambda: fired.append("p0-first"), priority=0)
+        sim.schedule(1.0, lambda: fired.append("p0-second"), priority=0)
+        sim.run()
+        assert fired == ["p0-first", "p0-second", "p1"]
+
+    def test_callback_scheduling_same_instant_stays_in_order(self):
+        """A zero-delay event scheduled mid-batch must respect priority."""
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            # Same instant, lower priority than the pending "last":
+            # must fire before it regardless of insertion time.
+            sim.schedule(0.0, lambda: fired.append("injected"), priority=1)
+
+        sim.schedule(1.0, first, priority=0)
+        sim.schedule(1.0, lambda: fired.append("last"), priority=2)
+        sim.run()
+        assert fired == ["first", "injected", "last"]
+
+    def test_stop_mid_batch_halts_immediately(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(1.0, lambda: fired.append("after-stop"))
+        sim.schedule(2.0, lambda: fired.append("later"))
+        sim.run()
+        assert fired == ["a"]
+        sim.run()
+        assert fired == ["a", "after-stop", "later"]
+
+    def test_live_reaching_zero_mid_instant_stops_before_daemons(self):
+        """Open-ended run returns as soon as real work drains, even if
+        a daemon shares the final instant."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("work"), priority=0)
+        sim.schedule(
+            1.0, lambda: fired.append("daemon"), priority=1, daemon=True
+        )
+        sim.run()
+        assert fired == ["work"]
+
+    def test_until_boundary_respected_across_batches(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(1.0, lambda: fired.append("b"))
+        sim.schedule(3.0, lambda: fired.append("past"))
+        sim.run(until=2.0)
+        assert fired == ["a", "b"]
+        assert sim.now == 2.0
+
+
+class TestCancelAfterFire:
+    """Cancelling an event that already executed must be inert."""
+
+    def test_late_cancel_does_not_double_decrement_live(self):
+        sim = Simulator()
+        fired = []
+        holder = {}
+
+        def body():
+            fired.append("tick")
+            holder["event"].cancel()  # cancels itself *while firing*
+
+        holder["event"] = sim.schedule(1.0, body)
+        # A second pending job: if the live count double-decremented,
+        # the open-ended run would end before this fires.
+        sim.schedule(2.0, lambda: fired.append("second"))
+        sim.run()
+        assert fired == ["tick", "second"]
+        assert sim.now == 2.0
+
+    def test_process_stop_from_own_tick_keeps_kernel_consistent(self):
+        """A non-daemon Process stopping itself mid-tick cancels the
+        event being executed; later runs must still work."""
+        sim = Simulator()
+        ticks = []
+        holder = {}
+
+        def body(now):
+            ticks.append(now)
+            if now >= 2.0:
+                holder["proc"].stop()
+
+        holder["proc"] = Process(
+            sim, 1.0, body, start_delay=1.0, daemon=False
+        )
+        sim.schedule(5.0, lambda: ticks.append("tail"))
+        sim.run()
+        assert ticks == [1.0, 2.0, "tail"]
+        # The kernel survived: schedule + run again works and the
+        # live count never went negative (a fresh job keeps the
+        # open-ended run alive exactly until it fires).
+        sim.schedule(1.0, lambda: ticks.append("again"))
+        sim.run()
+        assert ticks[-1] == "again"
+
+    def test_stop_racing_rearm_with_external_cancel(self):
+        """stop() called by *another* event at the same instant as the
+        process's tick must not corrupt the live count either way."""
+        sim = Simulator()
+        ticks = []
+        proc = Process(sim, 1.0, ticks.append, start_delay=1.0, daemon=False)
+        # Scheduled before the process re-arms, so at t=2 the tie
+        # breaks by sequence: stop() fires *first* and cancels the
+        # pending tick sharing the instant.
+        sim.schedule(2.0, proc.stop)
+        sim.schedule(4.0, lambda: ticks.append("tail"))
+        sim.run()
+        assert ticks == [1.0, "tail"]
