@@ -17,7 +17,7 @@ import json
 import time
 from pathlib import Path
 
-from repro.experiments import online_replanning
+from repro.experiments import online_replanning, recalibration
 from repro.gda.engine.cluster import GeoCluster
 from repro.gda.engine.dag import JobSpec, StageSpec
 from repro.tuner import load_tune, run_tune, rung_plan
@@ -48,6 +48,21 @@ def test_online_replanning_vs_static(regenerate):
     assert max(row["speedup"] for row in rows.values()) > 1.05
     assert sum(row["replans"] for row in rows.values()) >= 3
     assert all(row["completed"] == 6 for row in rows.values())
+
+
+def test_recalibration_vs_static(regenerate):
+    results = regenerate(recalibration)
+    static = results["static"]
+    recal = results["recalibrated"]
+    # Continuous recalibration must strictly improve SLO attainment on
+    # the committed circuit-chaos cell, with the gauging loop actually
+    # ticking — and the static run must not have recalibrated at all.
+    assert recal.slo_attainment > static.slo_attainment
+    assert recal.recalibrations > 0
+    assert recal.recal_adjustments > 0
+    assert static.recalibrations == 0
+    assert static.recal_adjustments == 0
+    assert recal.completed == static.completed == 10
 
 
 def _drain_scheduler() -> JobScheduler:
@@ -306,6 +321,11 @@ def test_runtime_bench_report(capsys):
     kernel_speedup = scalar_wall / vec_wall
     event_rate, _, event_count = _event_kernel_rate(_EVENT_KERNEL_TRANSFERS)
     sharded_stats, sharded_wall = _sharded_drain()
+    recal_results = recalibration.run(fast=True)
+    recal = recal_results["recalibrated"]
+    recal_gain_pts = (
+        recal.slo_attainment - recal_results["static"].slo_attainment
+    ) * 100.0
     report = {
         "completed_jobs": row["completed"],
         "jobs_per_wall_s": row["completed"] / wall_s,
@@ -324,6 +344,9 @@ def test_runtime_bench_report(capsys):
         "sim_kernel_speedup": kernel_speedup,
         "sharded_jobs_per_wall_s": sharded_stats["completed"] / sharded_wall,
         "steal_count": sharded_stats["steals"],
+        "recal_ticks": recal.recalibrations,
+        "recal_adjustments": recal.recal_adjustments,
+        "recal_attainment_gain_pts": recal_gain_pts,
     }
     path = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
     path.write_text(json.dumps(report, indent=2) + "\n")
@@ -345,6 +368,11 @@ def test_runtime_bench_report(capsys):
             f"{report['sharded_jobs_per_wall_s']:.0f} jobs/wall-s, "
             f"{sharded_stats['steals']:.0f} steals"
         )
+        print(
+            f"recalibration: {recal.recalibrations} ticks, "
+            f"{recal.recal_adjustments} capacity adjustments, "
+            f"{recal_gain_pts:+.0f} pts SLO attainment vs static"
+        )
     assert row["completed"] == 6
     assert row["rollup_rows"] > 0 and row["events_traced"] > 0
     assert overhead_pct < MAX_LOG_OVERHEAD_PCT
@@ -359,3 +387,9 @@ def test_runtime_bench_report(capsys):
     assert event_count == 2 * _EVENT_KERNEL_TRANSFERS
     assert sharded_stats["completed"] == 400.0
     assert sharded_stats["steals"] > 0
+    # Recalibration must have ticked, moved capacities, and won on
+    # attainment — a zero gain means the committed cell stopped
+    # differentiating and needs re-tuning, not a looser assert.
+    assert recal.recalibrations > 0
+    assert recal.recal_adjustments > 0
+    assert recal_gain_pts > 0.0

@@ -49,6 +49,9 @@ DETERMINISTIC = (
     "parallel_jobs",
     "parallel_shards",
     "shard_worker_count",
+    "recal_ticks",
+    "recal_adjustments",
+    "recal_attainment_gain_pts",
 )
 
 #: Wall-clock metrics: name → +1 when higher is better, -1 when lower.

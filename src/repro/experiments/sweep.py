@@ -92,6 +92,7 @@ AXES: tuple[tuple[str, str, Optional[Registry]], ...] = (
     ("preemptions", "preemption", preemption_policy_registry),
     ("governors", "governor", None),
     ("autoscales", "autoscale", None),
+    ("recalibrates", "recalibrate", None),
 )
 
 #: Entry-point defaults for sweep runs (beneath files/env/overrides):
@@ -122,6 +123,8 @@ METRIC_COLUMNS: tuple[str, ...] = (
     "metrics_scrapes",
     "policy_switches",
     "tuner_arms_explored",
+    "recalibrations",
+    "recal_adjustments",
 )
 
 

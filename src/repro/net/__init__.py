@@ -14,6 +14,7 @@ four phenomena WANify exploits:
    collected datasets).
 """
 
+from repro.net.circuits import Circuit, CircuitPair, flap_quality, select_path
 from repro.net.matrix import BandwidthMatrix
 from repro.net.topology import DataCenter, Topology
 from repro.net.simulator import NetworkSimulator, Transfer
@@ -29,6 +30,8 @@ from repro.net.traffic_control import TrafficController
 
 __all__ = [
     "BandwidthMatrix",
+    "Circuit",
+    "CircuitPair",
     "DataCenter",
     "MeasurementReport",
     "NetworkSimulator",
@@ -36,8 +39,10 @@ __all__ = [
     "TrafficController",
     "Transfer",
     "WanMonitor",
+    "flap_quality",
     "measure_independent",
     "measure_simultaneous",
+    "select_path",
     "snapshot",
     "stable_runtime",
 ]

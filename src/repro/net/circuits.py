@@ -1,0 +1,136 @@
+"""Multi-path circuit primitives: primary/secondary pairs, failover,
+flapping, and minimum-capacity path policy.
+
+Production WANs rarely hang a site pair off one circuit: there is a
+primary path (MPLS, a leased line) and a secondary (broadband, LTE),
+and controller policy moves traffic between them — immediately on hard
+failure (with a degraded-quality window while tunnels re-form), or
+preemptively when the primary's measured capacity falls below a
+configured minimum.  The WANify simulator models link capacity as a
+multiplicative *quality factor* over topology bandwidth, so this
+module expresses all of that as pure factor arithmetic:
+
+* :class:`Circuit` — one path's steady quality;
+* :class:`CircuitPair` — primary + secondary + the failover transition
+  (:meth:`CircuitPair.quality_at` maps time-since-failure to the pair's
+  delivered quality and which path carries traffic);
+* :func:`flap_quality` — a deterministic square wave for chronically
+  unstable circuits (the classic "flapping link");
+* :func:`select_path` — the minimum-capacity path policy: primary while
+  it clears the threshold, secondary otherwise.
+
+Everything here is a pure function of its arguments — no clocks, no
+randomness — which is what lets the scenario layer
+(:mod:`repro.runtime.scenarios`) wrap these into seeded, replayable,
+``+``-composable scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Circuit",
+    "CircuitPair",
+    "flap_quality",
+    "select_path",
+]
+
+#: Path labels returned by :meth:`CircuitPair.quality_at` and
+#: :func:`select_path`.
+PRIMARY = "primary"
+FAILOVER = "failover"
+SECONDARY = "secondary"
+
+
+def _check_quality(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1]: {value}")
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """One path between a site pair, as a steady quality factor.
+
+    ``quality`` scales the topology bandwidth the path delivers when
+    healthy: ``1.0`` is the full provisioned rate (a primary circuit),
+    ``0.6`` a thinner backup (broadband behind an MPLS line).
+    """
+
+    quality: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_quality("quality", self.quality)
+
+
+@dataclass(frozen=True)
+class CircuitPair:
+    """A primary/secondary circuit pair with a failover transition.
+
+    When the primary fails, traffic does not jump cleanly to the
+    secondary: for ``failover_s`` seconds the pair delivers only
+    ``degraded_quality`` (tunnel re-establishment, routing
+    convergence, retransmit storms), then settles at the secondary's
+    steady quality.
+    """
+
+    primary: Circuit = Circuit(1.0)
+    secondary: Circuit = Circuit(0.6)
+    degraded_quality: float = 0.15
+    failover_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        _check_quality("degraded_quality", self.degraded_quality)
+        if self.failover_s < 0.0:
+            raise ValueError(f"failover_s must be >= 0: {self.failover_s}")
+
+    def quality_at(self, since_failure_s: float) -> tuple[float, str]:
+        """Delivered quality and carrying path, by time since failure.
+
+        Negative ``since_failure_s`` means the primary has not failed
+        (yet): the pair delivers the primary's quality.
+        """
+        if since_failure_s < 0.0:
+            return self.primary.quality, PRIMARY
+        if since_failure_s < self.failover_s:
+            return self.degraded_quality, FAILOVER
+        return self.secondary.quality, SECONDARY
+
+
+def flap_quality(
+    t: float,
+    period_s: float,
+    duty: float,
+    up_quality: float = 1.0,
+    down_quality: float = 0.1,
+    phase_s: float = 0.0,
+) -> float:
+    """Square-wave quality of a chronically flapping circuit.
+
+    Each ``period_s`` the circuit spends ``duty`` of the period *down*
+    (at ``down_quality``) and the rest up.  ``phase_s`` offsets the
+    wave so a population of flapping links need not beat in unison.
+    Pure in its arguments — the scenario layer derives ``phase_s`` from
+    a per-link hash to keep replays exact.
+    """
+    if period_s <= 0.0:
+        raise ValueError(f"period_s must be positive: {period_s}")
+    if not 0.0 <= duty <= 1.0:
+        raise ValueError(f"duty must be in [0, 1]: {duty}")
+    position = (t + phase_s) % period_s
+    return down_quality if position < duty * period_s else up_quality
+
+
+def select_path(
+    primary_capacity_fraction: float, min_capacity_fraction: float
+) -> str:
+    """The minimum-capacity path policy.
+
+    Keep the primary while its measured capacity fraction clears the
+    configured minimum; otherwise move to the secondary.  (This is the
+    CloudGenix-style "path falls below minimum down/up capacity" rule
+    reduced to factor space.)
+    """
+    if primary_capacity_fraction >= min_capacity_fraction:
+        return PRIMARY
+    return SECONDARY

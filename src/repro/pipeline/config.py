@@ -195,6 +195,52 @@ class ServiceConfig(PipelineConfig):
     #: window is the re-plan trigger, and detection latency is about
     #: half the window for a persistent drop.
     telemetry_window_s: float = config_field(120.0, help="telemetry sliding window (s)")
+    #: Continuous capacity recalibration: a background gauger that
+    #: re-derives each link's usable capacity from the p95 of observed
+    #: throughput on an interval, keeping plans honest between drift
+    #: re-plans.  Off by default — every pre-existing run stays
+    #: byte-identical.
+    recalibrate: bool = config_field(
+        False, help="continuous capacity recalibration loop"
+    )
+    #: Recalibrator tick period.  Off the 30 s drift grid and the 45 s
+    #: control grid so the three loops interleave on the simulator
+    #: rather than stacking on one instant.
+    recal_interval_s: float = config_field(
+        60.0, help="capacity recalibration tick period (s)"
+    )
+    #: Trailing telemetry window the recalibrator derives capacity
+    #: from.  Longer than the drift window: recalibration tracks the
+    #: sustained level, drift detection the fresh break.
+    recal_window_s: float = config_field(
+        240.0, help="recalibration trailing window (s)"
+    )
+    #: Percentile of observed throughput read as usable capacity
+    #: (p95 = "capacity when the link was pushed"; lower it toward 50
+    #: for chronically flapping circuits).
+    recal_percentile: float = config_field(
+        95.0, help="throughput percentile read as capacity"
+    )
+    #: Floor guard: recalibrated capacity never drops below this
+    #: fraction of the planned baseline.
+    recal_floor_fraction: float = config_field(
+        0.2, help="recalibration floor (fraction of baseline)"
+    )
+    #: Ceiling guard: recalibrated capacity never exceeds this fraction
+    #: of the planned baseline (and never the topology link ceiling).
+    recal_ceiling_fraction: float = config_field(
+        1.2, help="recalibration ceiling (fraction of baseline)"
+    )
+    #: Maximum move per tick, as a fraction of the baseline — one
+    #: corrupt window cannot teleport a link's capacity.
+    recal_max_step_fraction: float = config_field(
+        0.25, help="max capacity step per tick (fraction of baseline)"
+    )
+    #: Active samples required in the window before a link is
+    #: recalibrated at all (idle links are left at their baseline).
+    recal_min_samples: int = config_field(
+        3, help="active samples required to recalibrate a link"
+    )
     #: The observability hub: metrics warehouse, event trace, and the
     #: Prometheus rendering surface.  On by default — every hook is
     #: observation-only and the ingest path is an O(1) append, so runs

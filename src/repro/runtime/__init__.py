@@ -36,8 +36,15 @@ service on the deterministic :mod:`repro.sim` kernel:
   recorded runs, and a Prometheus-text ``/metrics`` surface, wired
   through every component by the :class:`ObservabilityHub`;
 * :mod:`repro.runtime.scenarios` — named bandwidth-dynamics scenarios
-  (diurnal swing, flash crowd, link degradation/failure, step drop)
-  pluggable into :class:`~repro.net.simulator.NetworkSimulator`;
+  (diurnal swing, flash crowd, link degradation/failure, step drop,
+  circuit failover/flapping and path-policy switching over the
+  :mod:`repro.net.circuits` primitives) pluggable into
+  :class:`~repro.net.simulator.NetworkSimulator`;
+* :mod:`repro.runtime.recalibrator` — :class:`CapacityRecalibrator`,
+  the background gauger that re-derives per-link usable capacity from
+  the p95 of observed throughput on an interval (ceiling/floor
+  guards, max step per tick), keeping plans honest between drift
+  re-plans;
 * :mod:`repro.runtime.service` — :class:`WANifyService`, which wires
   the pieces together and owns the replanning loop.
 
@@ -74,12 +81,16 @@ from repro.runtime.observability import (
     RollupRow,
     TraceEvent,
 )
+from repro.runtime.recalibrator import CapacityRecalibrator
 from repro.runtime.scenarios import (
     SCENARIOS,
+    CircuitFailover,
     ComposedScenario,
     DiurnalSwing,
+    FlappingLink,
     FlashCrowd,
     LinkDegradation,
+    PathPolicySwitch,
     ScenarioModel,
     StepDrop,
     register_scenario_model,
@@ -107,12 +118,16 @@ __all__ = [
     "AdmissionPolicy",
     "BandwidthGovernor",
     "BatchedReallocator",
+    "CapacityRecalibrator",
+    "CircuitFailover",
     "ComposedScenario",
     "ConcurrencyAutoscaler",
     "ControlPlane",
     "ControlView",
     "DiurnalSwing",
     "DriftDetector",
+    "FlappingLink",
+    "PathPolicySwitch",
     "EventTrace",
     "FlashCrowd",
     "KpiReport",

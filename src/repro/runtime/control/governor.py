@@ -52,6 +52,9 @@ class BandwidthGovernor:
         rich_slack_s: float = DEFAULT_RICH_SLACK_S,
         throttle_factor: float = DEFAULT_THROTTLE_FACTOR,
         floor_mbps: float = DEFAULT_FLOOR_MBPS,
+        capacity_mbps: Optional[
+            Callable[[str, str], Optional[float]]
+        ] = None,
     ) -> None:
         if not 0.0 < throttle_factor < 1.0:
             raise ValueError(
@@ -61,6 +64,12 @@ class BandwidthGovernor:
         self.rich_slack_s = rich_slack_s
         self.throttle_factor = throttle_factor
         self.floor_mbps = floor_mbps
+        #: Optional recalibrated-capacity hint ``(src, dst) → Mbps``.
+        #: When set (the service wires it under ``recalibrate = True``),
+        #: caps are additionally clamped to the published capacity — a
+        #: cap above what the link can currently carry is a fiction.
+        #: ``None`` (the default) changes nothing.
+        self.capacity_mbps = capacity_mbps
         #: pair → the limit in force before our cap (``None`` = none).
         self.held: dict[tuple[str, str], Optional[float]] = {}
         #: Observability hook: ``("apply" | "release", pair, cap_mbps)``
@@ -159,6 +168,10 @@ class BandwidthGovernor:
                         ),
                     )
             cap = max(rate * factor, self.floor_mbps)
+            if self.capacity_mbps is not None:
+                known = self.capacity_mbps(*pair)
+                if known is not None and known > 0.0:
+                    cap = min(cap, max(known, self.floor_mbps))
             previous = self.network.tc.limit(*pair)
             if previous <= cap:
                 continue

@@ -63,6 +63,7 @@ class ControlPlane:
     ) -> None:
         self.scheduler = scheduler
         self.config = config
+        self.predicted_bw = predicted_bw
         self.policy: PreemptionPolicy = preemption_policy(config.preemption)
         self.estimator = SlackEstimator(
             predicted_bw,  # type: ignore[arg-type]
@@ -74,6 +75,17 @@ class ControlPlane:
                 scheduler.cluster.network,
                 rich_slack_s=config.governor_slack_s,
                 throttle_factor=config.governor_throttle_factor,
+                # Under continuous recalibration the governor's caps
+                # are clamped to the recalibrated per-pair capacity —
+                # ``predicted_bw`` returns the service's live decision
+                # matrix, which the recalibrator republishes each
+                # tick.  Without recalibration the hint stays unset
+                # and cap arithmetic is untouched.
+                capacity_mbps=(
+                    self._published_capacity
+                    if getattr(config, "recalibrate", False)
+                    else None
+                ),
             )
             if config.governor
             else None
@@ -110,6 +122,21 @@ class ControlPlane:
             start_delay=config.control_interval_s,
             priority=6,
         )
+
+    def _published_capacity(self, src: str, dst: str) -> Optional[float]:
+        """The live decision matrix's capacity for one pair (Mbps).
+
+        ``None`` when no matrix is published yet or the pair is
+        unknown — the governor then caps on rate alone, as before.
+        """
+        matrix = self.predicted_bw()
+        getter = getattr(matrix, "get", None)
+        if matrix is None or getter is None:
+            return None
+        try:
+            return float(getter(src, dst))
+        except KeyError:
+            return None
 
     def _achieved_rate(self) -> Optional[float]:
         """Median per-job WAN throughput over completed runs (Mbps).

@@ -71,6 +71,8 @@ REQUIRED_METRIC_FAMILIES: tuple[str, ...] = (
     "wanify_parallel_wall_seconds",
     "wanify_kernel_fallback",
     "wanify_link_estimate_mbps",
+    "wanify_recalibrations_total",
+    "wanify_recal_capacity_mbps",
     "wanify_job_latency_seconds",
 )
 
@@ -170,6 +172,19 @@ class ObservabilityHub:
             f"{event.src}→{event.dst}",
             probe_transfers=event.probe_transfers,
             probe_cost_usd=event.probe_cost_usd,
+        )
+
+    def recalibration_recorded(self, matrix) -> None:
+        """The recalibrator published a matrix (called per tick)."""
+        recalibrator = self.service.recalibrator
+        self.trace.record(
+            self._now,
+            "recalibrate",
+            "capacity",
+            links_adjusted=(
+                recalibrator.last_adjusted if recalibrator is not None else 0
+            ),
+            min_bw_mbps=matrix.min_bw(),
         )
 
     def _cap_moved(
@@ -370,6 +385,21 @@ class ObservabilityHub:
             estimates.set(estimate.p50, src=src, dst=dst, stat="p50")
             estimates.set(estimate.p95, src=src, dst=dst, stat="p95")
             estimates.set(estimate.ewma, src=src, dst=dst, stat="ewma")
+
+        recalibrator = service.recalibrator
+        counter(
+            "wanify_recalibrations_total",
+            "Capacity-recalibration ticks executed.",
+            recalibrator.ticks if recalibrator is not None else 0,
+        )
+        recal_capacity = registry.gauge(
+            "wanify_recal_capacity_mbps",
+            "Recalibrated per-link capacity (labels: src, dst).",
+        )
+        if recalibrator is not None:
+            current = recalibrator.current
+            for src, dst in current.pairs():
+                recal_capacity.set(current.get(src, dst), src=src, dst=dst)
 
         latency = registry.histogram(
             "wanify_job_latency_seconds",

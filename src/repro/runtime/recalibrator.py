@@ -1,0 +1,217 @@
+"""Continuous capacity recalibration: a background gauger for links.
+
+Between drift re-plans the service trusts whatever bandwidth matrix
+the predictor produced at plan time.  Production WAN tooling does not:
+the CloudGenix controller re-derives each circuit's usable capacity
+from the p95 of *observed* throughput over a trailing window, on an
+interval, clamped by configured ceilings.  This module is that loop
+for the WANify runtime.
+
+:class:`CapacityRecalibrator` sits between the shared
+:class:`~repro.runtime.telemetry.TelemetryStore` and the service's
+published capacity matrix.  Each tick it:
+
+1. reads, for every link of the baseline matrix, the configured
+   percentile of observed throughput over the trailing window — with
+   idle/outage zero samples **counted** (``active_only=False``), so a
+   window dominated by outage ticks drags the estimate down instead of
+   replaying the stale pre-outage capacity;
+2. skips links with fewer than ``min_samples`` *active* samples in the
+   window (a link that carried nothing says nothing — idle links stay
+   at baseline rather than being crushed toward the floor);
+3. clamps the move to ``±max_step_fraction`` of the baseline per tick
+   (one corrupt window cannot teleport a link), then clamps the result
+   into ``[floor_fraction, ceiling_fraction] × baseline`` and below the
+   topology link ceiling when one is known;
+4. publishes the updated matrix through ``on_publish`` — the service
+   installs it as its decision matrix, which is what the scheduler's
+   placement scoring, the control plane's slack estimator, and the
+   :class:`~repro.runtime.control.governor.BandwidthGovernor`'s cap
+   clamp all read.
+
+The recalibrator is deliberately *not* a re-planner: it never tears
+down deployments or re-runs the pipeline.  It keeps the numbers the
+planner's artifacts are judged against honest, and leaves structural
+reactions to the drift detector (which keeps its own baseline and is
+rebased on every re-plan, exactly as before).
+
+Operational escape hatch: :meth:`CapacityRecalibrator.stall` skips the
+next N ticks — the knob an operator (or the chaos harness) uses to
+freeze recalibration during a maintenance window without tearing the
+process down.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.matrix import BandwidthMatrix
+from repro.runtime.telemetry import TelemetryStore
+
+__all__ = ["CapacityRecalibrator"]
+
+#: Moves smaller than this (Mbps) are not counted as adjustments —
+#: percentile jitter on a healthy link is not a recalibration.
+ADJUST_EPSILON_MBPS = 1e-6
+
+
+class CapacityRecalibrator:
+    """Periodically re-derive per-link usable capacity from telemetry.
+
+    ``baseline`` is the matrix the current plan was built on: floors,
+    ceilings, and step sizes are all fractions of it, so the guards are
+    stable even as the published matrix wanders.  ``link_ceiling``
+    (when given) maps ``(src, dst)`` to the topology's hard capacity —
+    the recalibrated value never exceeds it regardless of the
+    configured ceiling fraction.
+    """
+
+    def __init__(
+        self,
+        store: TelemetryStore,
+        baseline: BandwidthMatrix,
+        *,
+        percentile: float = 95.0,
+        window_s: float = 240.0,
+        floor_fraction: float = 0.2,
+        ceiling_fraction: float = 1.2,
+        max_step_fraction: float = 0.25,
+        min_samples: int = 3,
+        link_ceiling: Optional[Callable[[str, str], float]] = None,
+        on_publish: Optional[Callable[[BandwidthMatrix], None]] = None,
+    ) -> None:
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100]: {percentile}")
+        if window_s <= 0.0:
+            raise ValueError(f"window_s must be positive: {window_s}")
+        if not 0.0 < floor_fraction <= ceiling_fraction:
+            raise ValueError(
+                "need 0 < floor_fraction <= ceiling_fraction: "
+                f"{floor_fraction} / {ceiling_fraction}"
+            )
+        if max_step_fraction <= 0.0:
+            raise ValueError(
+                f"max_step_fraction must be positive: {max_step_fraction}"
+            )
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1: {min_samples}")
+        self.store = store
+        self.percentile = percentile
+        self.window_s = window_s
+        self.floor_fraction = floor_fraction
+        self.ceiling_fraction = ceiling_fraction
+        self.max_step_fraction = max_step_fraction
+        self.min_samples = min_samples
+        self.link_ceiling = link_ceiling
+        self.on_publish = on_publish
+        self.baseline = baseline.copy()
+        self.current = baseline.copy()
+        #: Recalibration ticks actually executed (stalled ticks are
+        #: counted separately).
+        self.ticks = 0
+        #: Ticks swallowed by :meth:`stall`.
+        self.stalled_ticks = 0
+        #: Cumulative links moved across all ticks.
+        self.adjustments = 0
+        #: Links moved by the most recent executed tick.
+        self.last_adjusted = 0
+        #: Simulator time of the most recent executed tick.
+        self.last_tick_s: Optional[float] = None
+        self._stall_remaining = 0
+
+    # -- guard arithmetic ----------------------------------------------
+
+    def floor_mbps(self, src: str, dst: str) -> float:
+        """Lower guard for one link."""
+        return self.floor_fraction * self.baseline.get(src, dst)
+
+    def ceiling_mbps(self, src: str, dst: str) -> float:
+        """Upper guard for one link (never above the topology)."""
+        ceiling = self.ceiling_fraction * self.baseline.get(src, dst)
+        if self.link_ceiling is not None:
+            hard = self.link_ceiling(src, dst)
+            if hard > 0.0:
+                ceiling = min(ceiling, hard)
+        return max(ceiling, self.floor_mbps(src, dst))
+
+    def within_bounds(self) -> list[tuple[str, str, float]]:
+        """Links whose current value violates the guards (empty = OK).
+
+        The chaos harness's executable invariant: whatever faults were
+        injected, every published capacity sits in
+        ``[floor, ceiling]`` (ceiling already topology-clamped).
+        """
+        violations = []
+        for src, dst in self.current.pairs():
+            value = self.current.get(src, dst)
+            low = self.floor_mbps(src, dst) - ADJUST_EPSILON_MBPS
+            high = self.ceiling_mbps(src, dst) + ADJUST_EPSILON_MBPS
+            if not low <= value <= high:
+                violations.append((src, dst, value))
+        return violations
+
+    # -- control -------------------------------------------------------
+
+    def stall(self, ticks: int = 1) -> None:
+        """Skip the next ``ticks`` recalibration ticks."""
+        if ticks < 0:
+            raise ValueError(f"ticks must be >= 0: {ticks}")
+        self._stall_remaining += ticks
+
+    def rebase(self, baseline: BandwidthMatrix) -> None:
+        """Adopt a fresh plan's matrix as baseline *and* current.
+
+        Called after a drift re-plan, mirroring
+        :meth:`~repro.runtime.drift.DriftDetector.rebase`: the new
+        plan's numbers are the new truth, and recalibration restarts
+        its walk from them.
+        """
+        self.baseline = baseline.copy()
+        self.current = baseline.copy()
+
+    def matrix(self) -> BandwidthMatrix:
+        """A copy of the current recalibrated matrix."""
+        return self.current.copy()
+
+    # -- the tick ------------------------------------------------------
+
+    def tick(self, now: float) -> Optional[BandwidthMatrix]:
+        """One recalibration pass; returns the published matrix.
+
+        Returns ``None`` (and publishes nothing) when stalled.  Links
+        without enough active telemetry keep their current value.
+        """
+        if self._stall_remaining > 0:
+            self._stall_remaining -= 1
+            self.stalled_ticks += 1
+            return None
+        self.ticks += 1
+        self.last_tick_s = now
+        moved = 0
+        for src, dst in self.current.pairs():
+            estimate = self.store.estimate(src, dst, window_s=self.window_s)
+            if estimate.samples < self.min_samples:
+                continue
+            observed = self.store.capacity_mbps(
+                src,
+                dst,
+                self.percentile,
+                window_s=self.window_s,
+                active_only=False,
+            )
+            previous = self.current.get(src, dst)
+            step = self.max_step_fraction * self.baseline.get(src, dst)
+            target = min(max(observed, previous - step), previous + step)
+            target = min(
+                max(target, self.floor_mbps(src, dst)),
+                self.ceiling_mbps(src, dst),
+            )
+            if abs(target - previous) > ADJUST_EPSILON_MBPS:
+                self.current.set(src, dst, target)
+                moved += 1
+        self.last_adjusted = moved
+        self.adjustments += moved
+        published = self.matrix()
+        if self.on_publish is not None:
+            self.on_publish(published)
+        return published

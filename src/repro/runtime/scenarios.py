@@ -20,16 +20,23 @@ Scenarios register by name in the shared
 ``+``-joined names compose: ``scenario("diurnal+flash-crowd")`` stacks
 a flash crowd on the diurnal swing.  Built-in names:
 
-==================  ==================================================
-name                shape
-==================  ==================================================
-``calm``            base weather only (control)
-``diurnal``         deep daily swing on every link
-``flash-crowd``     a transient capacity crunch on ~half the links
+====================  ================================================
+name                  shape
+====================  ================================================
+``calm``              base weather only (control)
+``diurnal``           deep daily swing on every link
+``flash-crowd``       a transient capacity crunch on ~half the links
 ``link-degradation``  a subset of links ramp down to ~25 % and stay
-``link-failure``    a few links collapse to ~5 % (effective failure)
-``step-drop``       the whole substrate steps down to ~55 %
-==================  ==================================================
+``link-failure``      a few links collapse to ~5 % (effective failure)
+``step-drop``         the whole substrate steps down to ~55 %
+``circuit-failover``  hit links fail → degraded window → secondary
+``circuit-flap``      chronically flapping links (square wave)
+``path-policy``       switch to the secondary when the primary dips
+====================  ================================================
+
+The ``circuit-*`` and ``path-policy`` scenarios are built on the
+multi-path circuit primitives in :mod:`repro.net.circuits` — see that
+module for the failover/flap/path-policy semantics.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.net.circuits import CircuitPair, flap_quality, select_path
 from repro.net.dynamics import (
     DAY_S,
     FluctuationModel,
@@ -206,6 +214,104 @@ class StepDrop(ScenarioModel):
 
 
 @dataclass(frozen=True)
+class CircuitFailover(ScenarioModel):
+    """Hit links lose their primary circuit and fail over.
+
+    Each selected link rides a :class:`~repro.net.circuits.CircuitPair`:
+    full quality until ``fail_at_s``, a degraded-quality transition
+    window while the failover converges, then the secondary circuit's
+    steady (thinner) quality for the rest of the run.  Per-link phase
+    jitter spreads the failure instants a little so a population of
+    links does not fail on one simulator event.
+    """
+
+    name: str = "circuit-failover"
+    circuit: CircuitPair = CircuitPair()
+    fail_at_s: float = 600.0
+    #: Per-link failure-time spread (uniform in ±spread_s).
+    spread_s: float = 60.0
+    hit_fraction: float = 0.3
+
+    def _fail_at(self, i: int, j: int) -> float:
+        if self.spread_s <= 0.0:
+            return self.fail_at_s
+        rng = _link_hash(self.seed ^ _SELECT_SALT, i, j, -5)
+        return self.fail_at_s + float(
+            rng.uniform(-self.spread_s, self.spread_s)
+        )
+
+    def shape(self, i: int, j: int, t: float) -> float:
+        """The circuit pair's delivered quality for hit links."""
+        if not _selected(self.seed, i, j, self.hit_fraction):
+            return 1.0
+        quality, _ = self.circuit.quality_at(t - self._fail_at(i, j))
+        return quality
+
+
+@dataclass(frozen=True)
+class FlappingLink(ScenarioModel):
+    """Chronically unstable links: a square wave of up/down quality.
+
+    From ``start_s`` on, each selected link flaps with period
+    ``period_s``, spending ``duty`` of every period down at
+    ``down_quality``.  Per-link hash-derived phases desynchronize the
+    population — at any instant roughly ``duty`` of the hit links are
+    down, which is the chronic-instability regime (no steady level for
+    a planner to converge to).
+    """
+
+    name: str = "circuit-flap"
+    start_s: float = 300.0
+    period_s: float = 180.0
+    duty: float = 0.5
+    down_quality: float = 0.1
+    hit_fraction: float = 0.3
+
+    def shape(self, i: int, j: int, t: float) -> float:
+        """Square-wave quality on hit links once flapping starts."""
+        if t < self.start_s:
+            return 1.0
+        if not _selected(self.seed, i, j, self.hit_fraction):
+            return 1.0
+        rng = _link_hash(self.seed ^ _SELECT_SALT, i, j, -6)
+        phase = float(rng.uniform(0.0, self.period_s))
+        return flap_quality(
+            t - self.start_s,
+            self.period_s,
+            self.duty,
+            up_quality=1.0,
+            down_quality=self.down_quality,
+            phase_s=phase,
+        )
+
+
+@dataclass(frozen=True)
+class PathPolicySwitch(ScenarioModel):
+    """Minimum-capacity path policy over the base weather.
+
+    Watches the *primary* path's weather factor; while it clears
+    ``min_capacity_fraction`` traffic stays on the primary (shape 1).
+    The moment it dips below, policy moves the link to a steady
+    secondary circuit: the shape compensates the weather so the
+    combined factor holds at ``secondary_quality`` — a stable, thinner
+    path instead of a collapsing one.  (The policy reads base weather,
+    not sibling scenario shapes, so in a ``+``-composition it reacts
+    to the shared weather only.)
+    """
+
+    name: str = "path-policy"
+    min_capacity_fraction: float = 0.5
+    secondary_quality: float = 0.6
+
+    def shape(self, i: int, j: int, t: float) -> float:
+        """1 on the primary; weather-compensated on the secondary."""
+        primary = self.base.factor(i, j, t)
+        if select_path(primary, self.min_capacity_fraction) == "primary":
+            return 1.0
+        return self.secondary_quality / max(primary, FACTOR_FLOOR)
+
+
+@dataclass(frozen=True)
 class ComposedScenario(ScenarioModel):
     """Several scenario shapes stacked multiplicatively on one base.
 
@@ -270,6 +376,9 @@ register_scenario_model(
     hit_fraction=0.15,
 )
 register_scenario_model(StepDrop)
+register_scenario_model(CircuitFailover)
+register_scenario_model(FlappingLink)
+register_scenario_model(PathPolicySwitch)
 
 #: Legacy name → factory(base, seed) mapping — now a live read-only
 #: view of the scenario registry, so ``@register_scenario`` entries
@@ -284,6 +393,7 @@ SCENARIOS = scenario_registry.mapping
 FEATURED_COMPOSITIONS: tuple[str, ...] = (
     "diurnal+flash-crowd",
     "step-drop+link-degradation",
+    "circuit-failover+circuit-flap",
 )
 
 

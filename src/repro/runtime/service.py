@@ -57,6 +57,7 @@ from repro.pipeline.deploy import Deployment
 from repro.runtime.control.plane import ControlPlane
 from repro.runtime.drift import DriftDetector, ReplanEvent
 from repro.runtime.observability.hub import ObservabilityHub
+from repro.runtime.recalibrator import CapacityRecalibrator
 from repro.runtime.scenarios import scenario
 from repro.runtime.scheduler import JobScheduler, JobTicket, PolicySpec
 from repro.runtime.scheduling import SLO, spread_slos
@@ -164,6 +165,12 @@ class ServiceSummary:
     #: vectorized kernel silently degraded because numpy was missing.
     kernel: str = "scalar"
     kernel_fallback: bool = False
+    #: Continuous-recalibration statistics (all zero with
+    #: ``recalibrate = False``, the default): ``recalibrations`` counts
+    #: executed recalibrator ticks, ``recal_adjustments`` the
+    #: cumulative per-link capacity moves those ticks published.
+    recalibrations: int = 0
+    recal_adjustments: int = 0
     events: list[ReplanEvent] = field(default_factory=list)
 
     def to_row(self) -> dict[str, float]:
@@ -201,6 +208,8 @@ class ServiceSummary:
             "shard_worker_count": float(self.shard_worker_count),
             "parallel_wall_s": self.parallel_wall_s,
             "kernel_fallback": float(self.kernel_fallback),
+            "recalibrations": float(self.recalibrations),
+            "recal_adjustments": float(self.recal_adjustments),
         }
 
 
@@ -258,8 +267,10 @@ class PipelineService:
         self.detector: Optional[DriftDetector] = None
         self.control: Optional[ControlPlane] = None
         self.hub: Optional[ObservabilityHub] = None
+        self.recalibrator: Optional[CapacityRecalibrator] = None
         self.replans: list[ReplanEvent] = []
         self._drift_process: Optional[Process] = None
+        self._recal_process: Optional[Process] = None
         self._started = False
         #: State of the last :meth:`drain_parallel` (``None`` until one
         #: runs): the merged statistics row, the worker count actually
@@ -367,6 +378,31 @@ class PipelineService:
                 start_delay=self.config.check_interval_s,
                 priority=5,
             )
+        # Continuous capacity recalibration: a background gauger that
+        # walks the published decision matrix toward the p95 of
+        # observed throughput, guarded by floor/ceiling/step clamps.
+        # Priority 4: recalibration lands *before* a same-instant drift
+        # check, so drift judges the freshest capacity view.
+        if self.config.recalibrate:
+            self.recalibrator = CapacityRecalibrator(
+                self.telemetry,
+                self.predicted,
+                percentile=self.config.recal_percentile,
+                window_s=self.config.recal_window_s,
+                floor_fraction=self.config.recal_floor_fraction,
+                ceiling_fraction=self.config.recal_ceiling_fraction,
+                max_step_fraction=self.config.recal_max_step_fraction,
+                min_samples=self.config.recal_min_samples,
+                link_ceiling=self._topology_ceiling,
+                on_publish=self._recal_publish,
+            )
+            self._recal_process = Process(
+                self.sim,
+                self.config.recal_interval_s,
+                self.recalibrator.tick,
+                start_delay=self.config.recal_interval_s,
+                priority=4,
+            )
         # The control plane only exists when asked for: a default
         # config changes nothing about existing runs.
         if (
@@ -433,6 +469,33 @@ class PipelineService:
         if self.deployment is not None:
             self.deployment.teardown(self.network)
 
+    def _topology_ceiling(self, src: str, dst: str) -> float:
+        """The pair's weather-free hard capacity (Mbps).
+
+        TCP aggregate ceiling at the configured connection budget —
+        the recalibrator's "never above topology" guard rail.
+        """
+        topology = self.cluster.topology
+        return topology.tcp.aggregate_cap_mbps(
+            topology.rtt_ms(src, dst),
+            self.config.max_connections,
+            self.network.knee,
+        )
+
+    def _recal_publish(self, matrix: BandwidthMatrix) -> None:
+        """Install a recalibrated matrix as the decision matrix.
+
+        Everything that reads capacity through a callable sees it at
+        its next decision: the scheduler's ``decision_bw`` (placement
+        scoring), the control plane's ``predicted_bw`` (slack
+        estimation and, when recalibrating, the governor's cap
+        clamp).  The drift detector keeps its own plan-time baseline —
+        recalibration tracks reality, drift judges the plan.
+        """
+        self.predicted = matrix
+        if self.hub is not None:
+            self.hub.recalibration_recorded(matrix)
+
     @property
     def replan_spent_usd(self) -> float:
         """Probe dollars charged to re-plans so far."""
@@ -482,6 +545,10 @@ class PipelineService:
         self._install(self.predicted)
         if self.detector is not None:
             self.detector.rebase(self.predicted, self.sim.now)
+        if self.recalibrator is not None:
+            # The fresh plan's matrix is the new baseline: guards and
+            # step sizes re-anchor, and the walk restarts from it.
+            self.recalibrator.rebase(self.predicted)
         charged = event.charged(
             transfers=int(getattr(gauger, "probe_transfers", 0)) - before[0],
             gigabytes=float(getattr(gauger, "probe_gb", 0.0)) - before[1],
@@ -501,6 +568,9 @@ class PipelineService:
         if self._drift_process is not None:
             self._drift_process.stop()
             self._drift_process = None
+        if self._recal_process is not None:
+            self._recal_process.stop()
+            self._recal_process = None
 
     # -- job interface --------------------------------------------------
 
@@ -713,6 +783,16 @@ class PipelineService:
             parallel_wall_s=self.parallel_wall_s,
             kernel=getattr(self.network, "kernel", "scalar"),
             kernel_fallback=getattr(self.network, "kernel_fallback", False),
+            recalibrations=(
+                self.recalibrator.ticks
+                if self.recalibrator is not None
+                else 0
+            ),
+            recal_adjustments=(
+                self.recalibrator.adjustments
+                if self.recalibrator is not None
+                else 0
+            ),
             events=list(self.replans),
         )
 

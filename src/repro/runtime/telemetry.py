@@ -10,8 +10,17 @@ link was pushed") and an EWMA for a smoothed instantaneous view.
 
 Samples where a link was idle (zero rate) are kept in the series — the
 experiment harness reads utilization off them — but are excluded from
-capacity percentiles: an idle link says nothing about what it could
-carry.
+capacity percentiles by default: an idle link says nothing about what
+it could carry.
+
+The zero samples are *not* dropped, though.  During a full link outage
+the monitors keep publishing zero rates, and those ticks are the only
+evidence the outage exists: every estimator here accepts
+``active_only=False`` to count them toward the percentile window, which
+is the view outage-aware consumers (the
+:class:`~repro.runtime.recalibrator.CapacityRecalibrator`) read.  With
+zeros counted, a window dominated by outage ticks drags the percentile
+toward zero instead of replaying the stale pre-outage capacity forever.
 """
 
 from __future__ import annotations
@@ -215,8 +224,10 @@ class TelemetryStore:
         """All links that have ever been sampled, sorted."""
         return sorted(self._series)
 
-    def estimate(self, src: str, dst: str) -> LinkEstimate:
-        """Estimator bundle for one link over the store's window.
+    def estimate(
+        self, src: str, dst: str, window_s: float | None = None
+    ) -> LinkEstimate:
+        """Estimator bundle for one link (store window unless given).
 
         A read-only peek: asking about a never-sampled link returns
         the :meth:`LinkEstimate.empty` sentinel *without* creating a
@@ -226,31 +237,58 @@ class TelemetryStore:
         found = self._series.get((src, dst))
         if found is None:
             return LinkEstimate.empty()
-        return found.estimate(self.window_s)
+        return found.estimate(self.window_s if window_s is None else window_s)
 
     def capacity_mbps(
-        self, src: str, dst: str, percentile: float = 95.0
+        self,
+        src: str,
+        dst: str,
+        percentile: float = 95.0,
+        window_s: float | None = None,
+        active_only: bool = True,
     ) -> float:
         """Sliding-window capacity estimate (p95 by default).
 
         Read-only like :meth:`estimate`: an unsampled link reads 0
-        and leaves no phantom series behind.
+        and leaves no phantom series behind.  ``window_s`` overrides
+        the store's default trailing window; ``active_only=False``
+        counts zero-rate (idle/outage) ticks toward the percentile —
+        the honest view when a link may be down rather than idle.
         """
         found = self._series.get((src, dst))
         if found is None:
             return 0.0
-        return found.percentile(percentile, self.window_s)
+        return found.percentile(
+            percentile,
+            self.window_s if window_s is None else window_s,
+            active_only=active_only,
+        )
 
     def estimate_matrix(
-        self, keys: tuple[str, ...], percentile: float = 50.0
+        self,
+        keys: tuple[str, ...],
+        percentile: float = 50.0,
+        window_s: float | None = None,
+        active_only: bool = True,
     ) -> BandwidthMatrix:
         """Percentile estimates for every ordered pair as a matrix.
 
         Unsampled or idle pairs come out 0 — callers blend this with a
-        predicted matrix rather than consuming it raw.
+        predicted matrix rather than consuming it raw.  ``window_s``
+        and ``active_only`` pass through to :meth:`capacity_mbps`.
         """
         out = BandwidthMatrix.zeros(keys)
         for src, dst in out.pairs():
             if (src, dst) in self._series:
-                out.set(src, dst, self.capacity_mbps(src, dst, percentile))
+                out.set(
+                    src,
+                    dst,
+                    self.capacity_mbps(
+                        src,
+                        dst,
+                        percentile,
+                        window_s=window_s,
+                        active_only=active_only,
+                    ),
+                )
         return out

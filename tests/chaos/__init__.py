@@ -1,0 +1,8 @@
+"""Fault-injection (chaos) tests for the WANify runtime.
+
+Everything here carries ``@pytest.mark.chaos`` and is excluded from
+the default tier-1 run (see ``pytest.ini``); CI drains the tier with
+``pytest -m chaos``.  The harness lives in :mod:`tests.chaos.injector`;
+the invariants it must not be able to break are pinned in
+``test_faults.py``.
+"""

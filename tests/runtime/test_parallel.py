@@ -175,9 +175,78 @@ class TestFallback:
         reference = ShardExecutor(0).run(tasks)
         assert _finish_times(results) == _finish_times(reference)
 
+    def test_fallback_flag_resets_on_next_clean_run(self, monkeypatch):
+        """``fell_back`` describes the *last* run, not executor history."""
+        tasks = _tasks(_entries(count=4), shards=2)
+        executor = ShardExecutor(2)
+        original = ShardExecutor._context
+        monkeypatch.setattr(
+            ShardExecutor,
+            "_context",
+            staticmethod(lambda: (_ for _ in ()).throw(OSError("down"))),
+        )
+        executor.run(tasks)
+        assert executor.fell_back
+        monkeypatch.setattr(
+            ShardExecutor, "_context", staticmethod(original)
+        )
+        executor.run(tasks)
+        assert not executor.fell_back
+
+    def test_single_task_skips_the_pool(self):
+        """One shard never pays pool startup, whatever ``workers`` says."""
+        executor = ShardExecutor(8)
+        results = executor.run(_tasks(_entries(count=3), shards=1))
+        assert executor.workers_used == 0
+        assert not executor.fell_back
+        assert len(results) == 1
+
     def test_negative_workers_rejected(self):
         with pytest.raises(ValueError, match="workers"):
             ShardExecutor(-1)
+
+
+class TestCrashedWorkerDrain:
+    """A worker that dies mid-drain must be loud, not a dropped shard."""
+
+    @staticmethod
+    def _poison(task):
+        """A task whose worker crashes rebuilding its shard: the
+        admission-policy name resolves in the *worker*, and this one
+        is registered nowhere."""
+        from dataclasses import replace
+
+        return replace(task, admission="no-such-admission-policy")
+
+    def test_serial_path_raises_the_real_error(self):
+        tasks = _tasks(_entries(count=4), shards=2)
+        poisoned = [tasks[0], self._poison(tasks[1])]
+        with pytest.raises(KeyError, match="no-such-admission-policy"):
+            ShardExecutor(0).run(poisoned)
+
+    def test_pool_crash_falls_back_then_still_raises(self):
+        """The pool dies on the poisoned task; the serial retry hits
+        the same error — fall-back covers *pool* failures, it never
+        swallows a genuinely broken task."""
+        tasks = _tasks(_entries(count=4), shards=2)
+        poisoned = [tasks[0], self._poison(tasks[1])]
+        executor = ShardExecutor(2)
+        with pytest.raises(KeyError, match="no-such-admission-policy"):
+            executor.run(poisoned)
+        assert executor.fell_back
+        assert executor.workers_used == 0
+
+    def test_executor_survives_a_crash(self):
+        """After surfacing a crash the same executor drains healthy
+        tasks normally — no wedged pool state left behind."""
+        tasks = _tasks(_entries(count=4), shards=2)
+        executor = ShardExecutor(2)
+        with pytest.raises(KeyError):
+            executor.run([self._poison(tasks[0]), tasks[1]])
+        results = executor.run(tasks)
+        assert len(results) == 2
+        assert sum(len(r.records) for r in results) == 4
+        assert not executor.fell_back
 
 
 class TestTaskPickling:

@@ -142,6 +142,61 @@ class TestTelemetryStore:
         assert estimate.p95 == 0.0
         assert estimate.last_time == 3.0
 
+    def test_outage_zeros_count_toward_raw_percentile(self):
+        """Full-outage regression: the zero ticks a dead link keeps
+        publishing are *retained* and count toward the percentile
+        window when asked for the raw (``active_only=False``) view.
+
+        The active-only default deliberately ignores them (an idle
+        link says nothing about capacity), which means it replays the
+        stale pre-outage p95 for as long as any busy sample remains in
+        the window — the trap outage-aware consumers avoid by reading
+        ``active_only=False``.
+        """
+        store = TelemetryStore(window_s=1000.0)
+        # 5 busy ticks, then the link dies: 145 outage zeros.
+        for t in range(5):
+            store.record("a", float(t), {"b": 800.0})
+        for t in range(5, 150):
+            store.record("a", float(t), {"b": 0.0})
+        # Zeros were kept in the series, not dropped on ingest.
+        assert len(store.series("a", "b").samples) == 150
+        # Active-only view: stale 800 Mbps (the documented trap).
+        assert store.capacity_mbps("a", "b", 95.0) == pytest.approx(800.0)
+        # Raw view: the outage zeros dominate and p95 collapses.
+        assert store.capacity_mbps(
+            "a", "b", 95.0, active_only=False
+        ) == pytest.approx(0.0)
+
+    def test_window_override_narrows_the_view(self):
+        """Estimators accept a per-call trailing window: a recalibrator
+        asking over its own (shorter) window sees only the outage."""
+        store = TelemetryStore(window_s=1000.0)
+        for t in range(5):
+            store.record("a", float(t), {"b": 800.0})
+        for t in range(5, 50):
+            store.record("a", float(t), {"b": 0.0})
+        # A 30 s window anchored at t=49 holds only outage zeros.
+        assert store.capacity_mbps(
+            "a", "b", 95.0, window_s=30.0, active_only=False
+        ) == pytest.approx(0.0)
+        assert store.estimate("a", "b", window_s=30.0).is_empty
+        # The store-default window still reaches the busy samples.
+        assert not store.estimate("a", "b").is_empty
+
+    def test_estimate_matrix_raw_view(self):
+        """``estimate_matrix`` plumbs ``active_only``/``window_s``."""
+        store = TelemetryStore(window_s=100.0)
+        for t in range(10):
+            store.record("a", float(t), {"b": 0.0})
+        store.record("a", 10.0, {"b": 300.0})
+        active = store.estimate_matrix(("a", "b"), percentile=50.0)
+        raw = store.estimate_matrix(
+            ("a", "b"), percentile=50.0, active_only=False
+        )
+        assert active.get("a", "b") == pytest.approx(300.0)
+        assert raw.get("a", "b") == pytest.approx(0.0)
+
     def test_attached_sink_sees_every_record(self):
         """attach() forwards (dc, time, rates) verbatim to sinks."""
         store = TelemetryStore()
